@@ -1,0 +1,82 @@
+// Benchmarks: one per experiment in DESIGN.md §4, so every table and
+// figure-equivalent can be timed with `go test -bench=. -benchmem`.
+package sourcecurrents_test
+
+import (
+	"testing"
+
+	"sourcecurrents/internal/experiments"
+)
+
+func BenchmarkEX1Table1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.EX1Table1()
+	}
+}
+
+func BenchmarkEX2Table2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.EX2Table2()
+	}
+}
+
+func BenchmarkEX3Table3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.EX3Table3()
+	}
+}
+
+func BenchmarkEX4AbeBooksSmall(b *testing.B) {
+	cfg := experiments.SmallEX4Config()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.EX4AbeBooks(cfg)
+	}
+}
+
+func BenchmarkEX4AbeBooksFull(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full Example 4.1 scale")
+	}
+	cfg := experiments.DefaultEX4Config()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.EX4AbeBooks(cfg)
+	}
+}
+
+func BenchmarkEX5CopySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.EX5CopySweep(11, 200)
+	}
+}
+
+func BenchmarkEX6TruthSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.EX6TruthSweep(13, 200)
+	}
+}
+
+func BenchmarkEX7TemporalSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.EX7TemporalSweep(17, 50)
+	}
+}
+
+func BenchmarkEX8QueryOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.EX8QueryOrder(19)
+	}
+}
+
+func BenchmarkEX9DissimSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.EX9DissimSweep(23)
+	}
+}
+
+func BenchmarkEX10Winnow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.EX10Winnow(29, 200)
+	}
+}

@@ -1,0 +1,332 @@
+// Package dataset provides the indexed claim store the discovery algorithms
+// run against.
+//
+// A Dataset ingests model.Claim values and maintains the indexes the
+// iterative solvers need on their hot paths: claims by source, claims by
+// object, the value each source asserts per object, and pairwise overlap
+// enumeration. For temporal data it additionally maintains per-source update
+// traces (time-ordered claims) and can project a snapshot "as of" a time,
+// which is how the incomplete-observations experiments sample worlds.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"sourcecurrents/internal/model"
+)
+
+// Dataset is an immutable-after-Freeze collection of claims with indexes.
+// Build it with Add/AddAll, then call Freeze before handing it to solvers;
+// Freeze sorts the internal slices so every iteration order is
+// deterministic.
+type Dataset struct {
+	claims []model.Claim
+
+	bySource map[model.SourceID][]int // indexes into claims, time-ordered after Freeze
+	byObject map[model.ObjectID][]int
+
+	// snapshot view: latest (or only) value per (source, object)
+	valueOf map[model.SourceID]map[model.ObjectID]string
+
+	sources []model.SourceID
+	objects []model.ObjectID
+	frozen  bool
+}
+
+// New returns an empty dataset.
+func New() *Dataset {
+	return &Dataset{
+		bySource: map[model.SourceID][]int{},
+		byObject: map[model.ObjectID][]int{},
+		valueOf:  map[model.SourceID]map[model.ObjectID]string{},
+	}
+}
+
+// Add appends one claim. It returns an error for invalid claims or when the
+// dataset is already frozen.
+func (d *Dataset) Add(c model.Claim) error {
+	if d.frozen {
+		return fmt.Errorf("dataset: frozen")
+	}
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	idx := len(d.claims)
+	d.claims = append(d.claims, c)
+	d.bySource[c.Source] = append(d.bySource[c.Source], idx)
+	d.byObject[c.Object] = append(d.byObject[c.Object], idx)
+	return nil
+}
+
+// AddAll appends claims, stopping at the first invalid one.
+func (d *Dataset) AddAll(cs []model.Claim) error {
+	for _, c := range cs {
+		if err := d.Add(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Freeze finalizes the dataset: sorts index slices (per source by time, then
+// object; per object by source) and computes the snapshot view. For a
+// source that asserted multiple values for one object over time, the
+// snapshot view keeps the latest claim.
+func (d *Dataset) Freeze() {
+	if d.frozen {
+		return
+	}
+	d.frozen = true
+	for s, idxs := range d.bySource {
+		sort.SliceStable(idxs, func(a, b int) bool {
+			ca, cb := d.claims[idxs[a]], d.claims[idxs[b]]
+			if ca.Time != cb.Time {
+				return ca.Time < cb.Time
+			}
+			if ca.Object.Entity != cb.Object.Entity {
+				return ca.Object.Entity < cb.Object.Entity
+			}
+			return ca.Object.Attribute < cb.Object.Attribute
+		})
+		d.sources = append(d.sources, s)
+	}
+	model.SortSources(d.sources)
+	for o, idxs := range d.byObject {
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return d.claims[idxs[a]].Source < d.claims[idxs[b]].Source
+		})
+		d.objects = append(d.objects, o)
+	}
+	model.SortObjects(d.objects)
+
+	for _, s := range d.sources {
+		vals := map[model.ObjectID]string{}
+		// bySource is time-ordered, so later claims overwrite earlier ones.
+		for _, idx := range d.bySource[s] {
+			c := d.claims[idx]
+			vals[c.Object] = c.Value
+		}
+		d.valueOf[s] = vals
+	}
+}
+
+// Frozen reports whether Freeze has run.
+func (d *Dataset) Frozen() bool { return d.frozen }
+
+// Len returns the number of claims.
+func (d *Dataset) Len() int { return len(d.claims) }
+
+// Sources returns source ids in sorted order. Valid after Freeze.
+func (d *Dataset) Sources() []model.SourceID { return d.sources }
+
+// Objects returns object ids in sorted order. Valid after Freeze.
+func (d *Dataset) Objects() []model.ObjectID { return d.objects }
+
+// Claims returns all claims (shared slice; callers must not mutate).
+func (d *Dataset) Claims() []model.Claim { return d.claims }
+
+// ClaimsBySource returns s's claims in time order. Valid after Freeze.
+func (d *Dataset) ClaimsBySource(s model.SourceID) []model.Claim {
+	idxs := d.bySource[s]
+	out := make([]model.Claim, len(idxs))
+	for i, idx := range idxs {
+		out[i] = d.claims[idx]
+	}
+	return out
+}
+
+// ClaimsByObject returns all claims about o, ordered by source.
+func (d *Dataset) ClaimsByObject(o model.ObjectID) []model.Claim {
+	idxs := d.byObject[o]
+	out := make([]model.Claim, len(idxs))
+	for i, idx := range idxs {
+		out[i] = d.claims[idx]
+	}
+	return out
+}
+
+// Value returns the (snapshot) value source s asserts for object o.
+func (d *Dataset) Value(s model.SourceID, o model.ObjectID) (string, bool) {
+	v, ok := d.valueOf[s][o]
+	return v, ok
+}
+
+// ObjectsOf returns the objects s provides values for, sorted.
+func (d *Dataset) ObjectsOf(s model.SourceID) []model.ObjectID {
+	vals := d.valueOf[s]
+	out := make([]model.ObjectID, 0, len(vals))
+	for o := range vals {
+		out = append(out, o)
+	}
+	model.SortObjects(out)
+	return out
+}
+
+// Coverage returns |objects of s| / |all objects|.
+func (d *Dataset) Coverage(s model.SourceID) float64 {
+	if len(d.objects) == 0 {
+		return 0
+	}
+	return float64(len(d.valueOf[s])) / float64(len(d.objects))
+}
+
+// Overlap describes the shared objects of a source pair in the snapshot
+// view.
+type Overlap struct {
+	Pair    model.SourcePair
+	Objects []model.ObjectID // shared objects, sorted
+	Same    int              // shared objects on which the two values agree
+}
+
+// OverlapOf computes the overlap between two sources.
+func (d *Dataset) OverlapOf(a, b model.SourceID) Overlap {
+	va, vb := d.valueOf[a], d.valueOf[b]
+	if len(vb) < len(va) {
+		va, vb = vb, va
+	}
+	ov := Overlap{Pair: model.NewSourcePair(a, b)}
+	for o, v := range va {
+		w, ok := vb[o]
+		if !ok {
+			continue
+		}
+		ov.Objects = append(ov.Objects, o)
+		if v == w {
+			ov.Same++
+		}
+	}
+	model.SortObjects(ov.Objects)
+	return ov
+}
+
+// Pairs enumerates all unordered source pairs whose overlap has at least
+// minShared objects, in deterministic order. This is the candidate set for
+// pairwise dependence analysis; Example 4.1 uses minShared = 10.
+func (d *Dataset) Pairs(minShared int) []Overlap {
+	var out []Overlap
+	for i := 0; i < len(d.sources); i++ {
+		for j := i + 1; j < len(d.sources); j++ {
+			ov := d.OverlapOf(d.sources[i], d.sources[j])
+			if len(ov.Objects) >= minShared {
+				out = append(out, ov)
+			}
+		}
+	}
+	return out
+}
+
+// ValuesFor returns the distinct values asserted for object o with the
+// sources asserting each, in deterministic (value-sorted) order.
+func (d *Dataset) ValuesFor(o model.ObjectID) []ValueGroup {
+	bySrc := map[string][]model.SourceID{}
+	for _, idx := range d.byObject[o] {
+		c := d.claims[idx]
+		// snapshot view: only count the value the source currently holds
+		if cur, ok := d.valueOf[c.Source][o]; !ok || cur != c.Value {
+			continue
+		}
+		bySrc[c.Value] = append(bySrc[c.Value], c.Source)
+	}
+	vals := make([]string, 0, len(bySrc))
+	for v := range bySrc {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	out := make([]ValueGroup, 0, len(vals))
+	for _, v := range vals {
+		srcs := bySrc[v]
+		model.SortSources(srcs)
+		// a source may appear multiple times when it re-asserted the same
+		// value at different times; dedupe
+		srcs = dedupeSources(srcs)
+		out = append(out, ValueGroup{Value: v, Sources: srcs})
+	}
+	return out
+}
+
+// ValueGroup is one candidate value for an object with its asserting
+// sources.
+type ValueGroup struct {
+	Value   string
+	Sources []model.SourceID
+}
+
+func dedupeSources(srcs []model.SourceID) []model.SourceID {
+	out := srcs[:0]
+	for i, s := range srcs {
+		if i == 0 || srcs[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SnapshotAt projects the temporal dataset to the snapshot each source
+// would show at time t: for every (source, object), the latest claim with
+// Time <= t. Claims without timestamps are always visible. The projection
+// is returned as a new frozen Dataset whose claims carry HasTime=false.
+func (d *Dataset) SnapshotAt(t model.Time) *Dataset {
+	out := New()
+	for _, s := range d.sources {
+		latest := map[model.ObjectID]model.Claim{}
+		for _, idx := range d.bySource[s] {
+			c := d.claims[idx]
+			if c.HasTime && c.Time > t {
+				continue
+			}
+			prev, ok := latest[c.Object]
+			if !ok || !prev.HasTime || (c.HasTime && c.Time >= prev.Time) {
+				latest[c.Object] = c
+			}
+		}
+		objs := make([]model.ObjectID, 0, len(latest))
+		for o := range latest {
+			objs = append(objs, o)
+		}
+		model.SortObjects(objs)
+		for _, o := range objs {
+			c := latest[o]
+			c.HasTime = false
+			c.Time = 0
+			// Add cannot fail here: claims were validated on ingestion.
+			_ = out.Add(c)
+		}
+	}
+	out.Freeze()
+	return out
+}
+
+// UpdateTrace returns s's timestamped claims in time order, skipping
+// snapshot-only claims. The temporal detector consumes these.
+func (d *Dataset) UpdateTrace(s model.SourceID) []model.Claim {
+	var out []model.Claim
+	for _, idx := range d.bySource[s] {
+		c := d.claims[idx]
+		if c.HasTime {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TimeRange returns the min and max timestamps over all temporal claims;
+// ok is false when the dataset has none.
+func (d *Dataset) TimeRange() (lo, hi model.Time, ok bool) {
+	for _, c := range d.claims {
+		if !c.HasTime {
+			continue
+		}
+		if !ok {
+			lo, hi, ok = c.Time, c.Time, true
+			continue
+		}
+		if c.Time < lo {
+			lo = c.Time
+		}
+		if c.Time > hi {
+			hi = c.Time
+		}
+	}
+	return lo, hi, ok
+}

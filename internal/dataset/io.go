@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"sourcecurrents/internal/model"
+)
+
+// CSV layout: source,entity,attribute,value[,time[,prob]]
+// A header row "source,entity,attribute,value,..." is optional and detected
+// by its first field. Empty time means a snapshot claim; empty prob means 1.
+
+// ReadCSV parses claims from r. It accepts 4, 5, or 6 columns per record.
+func ReadCSV(r io.Reader) ([]model.Claim, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // allow mixed 4/5/6 column rows
+	var out []model.Claim
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", line+1, err)
+		}
+		line++
+		if line == 1 && len(rec) > 0 && rec[0] == "source" {
+			continue // header
+		}
+		if len(rec) < 4 {
+			return nil, fmt.Errorf("dataset: csv line %d: need at least 4 fields, got %d", line, len(rec))
+		}
+		c := model.Claim{
+			Source: model.SourceID(rec[0]),
+			Object: model.Obj(rec[1], rec[2]),
+			Value:  rec[3],
+			Prob:   1,
+		}
+		if len(rec) >= 5 && rec[4] != "" {
+			t, err := strconv.ParseInt(rec[4], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv line %d: bad time %q: %w", line, rec[4], err)
+			}
+			c.Time = model.Time(t)
+			c.HasTime = true
+		}
+		if len(rec) >= 6 && rec[5] != "" {
+			p, err := strconv.ParseFloat(rec[5], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv line %d: bad prob %q: %w", line, rec[5], err)
+			}
+			c.Prob = p
+		}
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", line, err)
+		}
+		out = append(out, c)
+	}
+}
+
+// WriteCSV writes claims to w with a header row.
+func WriteCSV(w io.Writer, claims []model.Claim) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"source", "entity", "attribute", "value", "time", "prob"}); err != nil {
+		return err
+	}
+	for _, c := range claims {
+		t := ""
+		if c.HasTime {
+			t = strconv.FormatInt(int64(c.Time), 10)
+		}
+		rec := []string{
+			string(c.Source), c.Object.Entity, c.Object.Attribute, c.Value,
+			t, strconv.FormatFloat(c.Prob, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FromClaims builds and freezes a dataset from a claim slice.
+func FromClaims(claims []model.Claim) (*Dataset, error) {
+	d := New()
+	if err := d.AddAll(claims); err != nil {
+		return nil, err
+	}
+	d.Freeze()
+	return d, nil
+}

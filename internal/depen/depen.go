@@ -1,0 +1,497 @@
+// Package depen implements the paper's primary contribution for snapshot
+// data: discovery of similarity-dependence (copying) between sources, and
+// dependence-aware truth discovery.
+//
+// Two intuitions from §3.2 drive the detector:
+//
+//  1. Sources sharing false values are far more likely to be dependent than
+//     sources sharing true values — independent accurate sources agree on
+//     the truth for free, but agreeing on the same mistake is improbable
+//     (the multiple-choice-quiz argument). Evidence is therefore split into
+//     fractional counts kt (shared-and-true), kf (shared-and-false) and kd
+//     (differing), weighted by the current belief that the shared value is
+//     true.
+//
+//  2. A copier's accuracy on the data it shares with its master differs
+//     from its accuracy on the data it provides alone; an independent
+//     source is equally good everywhere. This yields both a direction
+//     signal and a partial-copier diagnostic (AccuracySplit).
+//
+// The generative model (the companion VLDB 2009 formalization of this
+// paper's sketch): a copier copies each object independently with
+// probability c; otherwise it behaves like an independent source with its
+// own accuracy. With n plausible false values per object and accuracies
+// A1, A2:
+//
+//	independent:  Pt = A1·A2          Pf = (1−A1)(1−A2)/n   Pd = 1−Pt−Pf
+//	S2 copies S1: Pt' = c·A1 + (1−c)·Pt
+//	              Pf' = c·(1−A1) + (1−c)·Pf
+//	              Pd' = (1−c)·Pd
+//
+// Bayes over the three hypotheses {independent, A→B, B→A} with prior α of
+// dependence gives the pairwise posteriors; the direction is identified
+// because the copy branch uses the *master's* accuracy.
+//
+// Truth discovery then discounts votes: within the sources asserting a
+// value, each source's weight is multiplied by Π (1 − c·P(this source
+// copies an already-counted source)), so a clique of copiers contributes
+// barely more than one independent vote. The outer loop iterates truth ↔
+// accuracy ↔ dependence to a fixpoint (the ACCUCOPY scheme the paper's
+// §3.2 proposes as "iteratively determining true values, computing accuracy
+// of sources, and discovering dependence").
+package depen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/model"
+	"sourcecurrents/internal/stats"
+	"sourcecurrents/internal/truth"
+)
+
+// Config parameterizes detection. Start from DefaultConfig.
+type Config struct {
+	// Truth configures the inner truth-discovery step (N, smoothing, ...).
+	Truth truth.Config
+	// CopyRate is c: the probability that a copier copies any given object.
+	CopyRate float64
+	// Alpha is the prior probability that a random pair is dependent
+	// (split evenly between the two directions).
+	Alpha float64
+	// MinShared is the minimum overlap for a pair to be analyzed at all
+	// (Example 4.1 uses 10). Pairs below it are treated as independent.
+	MinShared int
+	// DepThreshold is the posterior above which a pair is reported as
+	// dependent.
+	DepThreshold float64
+	// MaxRounds caps the outer loop; Tol is its accuracy-fixpoint
+	// threshold.
+	MaxRounds int
+	Tol       float64
+}
+
+// DefaultConfig returns the parameters used across the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Truth:        truth.DefaultConfig(),
+		CopyRate:     0.8,
+		Alpha:        0.2,
+		MinShared:    2,
+		DepThreshold: 0.5,
+		MaxRounds:    15,
+		Tol:          1e-4,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Truth.Validate(); err != nil {
+		return err
+	}
+	if c.CopyRate <= 0 || c.CopyRate >= 1 {
+		return errors.New("depen: CopyRate must be in (0,1)")
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return errors.New("depen: Alpha must be in (0,1)")
+	}
+	if c.MinShared < 1 {
+		return errors.New("depen: MinShared must be >= 1")
+	}
+	if c.DepThreshold < 0 || c.DepThreshold > 1 {
+		return errors.New("depen: DepThreshold must be in [0,1]")
+	}
+	if c.MaxRounds < 1 {
+		return errors.New("depen: MaxRounds must be >= 1")
+	}
+	if c.Tol <= 0 {
+		return errors.New("depen: Tol must be > 0")
+	}
+	return nil
+}
+
+// Dependence is the detector's verdict on one source pair.
+type Dependence struct {
+	Pair model.SourcePair
+	// Prob is the posterior probability that the pair is dependent
+	// (either direction).
+	Prob float64
+	// ProbAB is the posterior that A copies B; ProbBA that B copies A.
+	// Prob = ProbAB + ProbBA.
+	ProbAB, ProbBA float64
+	// Shared is the overlap size; Same the number of shared objects with
+	// equal values.
+	Shared, Same int
+	// KT, KF, KD are the fractional evidence counts (shared-true,
+	// shared-false, differing).
+	KT, KF, KD float64
+}
+
+// Copier returns the more likely copier of the pair under the current
+// posterior, and the margin ProbCopier − ProbOther.
+func (dep Dependence) Copier() (model.SourceID, float64) {
+	if dep.ProbAB >= dep.ProbBA {
+		return dep.Pair.A, dep.ProbAB - dep.ProbBA
+	}
+	return dep.Pair.B, dep.ProbBA - dep.ProbAB
+}
+
+// Result is the outcome of the full detection loop.
+type Result struct {
+	// Truth is the dependence-aware truth-discovery result.
+	Truth *truth.Result
+	// Dependences holds every analyzed pair with posterior >= DepThreshold,
+	// sorted by decreasing posterior (ties by pair name).
+	Dependences []Dependence
+	// AllPairs holds every analyzed pair regardless of threshold.
+	AllPairs []Dependence
+	// Rounds is the number of outer-loop iterations; Converged whether the
+	// accuracy fixpoint was reached.
+	Rounds    int
+	Converged bool
+
+	dirProb map[model.SourceID]map[model.SourceID]float64
+}
+
+// DependenceProb returns the posterior that a and b are dependent (either
+// direction); 0 for unanalyzed pairs.
+func (r *Result) DependenceProb(a, b model.SourceID) float64 {
+	return r.directional(a, b) + r.directional(b, a)
+}
+
+// CopyProb returns the posterior that copier copies master; 0 for
+// unanalyzed pairs.
+func (r *Result) CopyProb(copier, master model.SourceID) float64 {
+	return r.directional(copier, master)
+}
+
+func (r *Result) directional(from, to model.SourceID) float64 {
+	if m, ok := r.dirProb[from]; ok {
+		return m[to]
+	}
+	return 0
+}
+
+// pairHypotheses returns log-likelihoods of the evidence under the three
+// hypotheses. a1, a2 are accuracies of the pair's A and B members.
+func pairHypotheses(kt, kf, kd float64, a1, a2, c float64, n int) (indep, aCopiesB, bCopiesA float64) {
+	a1 = stats.ClampProb(a1)
+	a2 = stats.ClampProb(a2)
+	nf := float64(n)
+	pt := a1 * a2
+	pf := (1 - a1) * (1 - a2) / nf
+	pd := 1 - pt - pf
+
+	logL := func(pt, pf, pd float64) float64 {
+		return kt*math.Log(stats.ClampProb(pt)) +
+			kf*math.Log(stats.ClampProb(pf)) +
+			kd*math.Log(stats.ClampProb(pd))
+	}
+	indep = logL(pt, pf, pd)
+	// A copies B: the copy branch reproduces B's value, so B's accuracy
+	// governs whether the shared value is true.
+	aCopiesB = logL(c*a2+(1-c)*pt, c*(1-a2)+(1-c)*pf, (1-c)*pd)
+	bCopiesA = logL(c*a1+(1-c)*pt, c*(1-a1)+(1-c)*pf, (1-c)*pd)
+	return indep, aCopiesB, bCopiesA
+}
+
+// evidence accumulates the fractional counts for one pair from the current
+// posterior beliefs. For each shared object: if the values agree exactly
+// (verbatim — formatting included, since verbatim replication is itself
+// copy evidence), the agreement is "true agreement" with the belief mass of
+// that value's similarity class and "false agreement" with the complement;
+// if they differ, kd += 1.
+func evidence(d *dataset.Dataset, ov dataset.Overlap,
+	probs map[model.ObjectID]map[string]float64,
+	sim func(a, b string) float64) (kt, kf, kd float64) {
+	for _, o := range ov.Objects {
+		va, _ := d.Value(ov.Pair.A, o)
+		vb, _ := d.Value(ov.Pair.B, o)
+		if va != vb {
+			kd++
+			continue
+		}
+		p := truth.ClassMass(probs[o], va, sim)
+		kt += p
+		kf += 1 - p
+	}
+	return kt, kf, kd
+}
+
+// scorePair turns evidence into a Dependence verdict via Bayes.
+func scorePair(ov dataset.Overlap, kt, kf, kd float64,
+	acc map[model.SourceID]float64, cfg Config) Dependence {
+	li, lab, lba := pairHypotheses(kt, kf, kd, acc[ov.Pair.A], acc[ov.Pair.B],
+		cfg.CopyRate, cfg.Truth.N)
+	// Priors: 1-α independent, α/2 per direction.
+	logPrior := []float64{math.Log(1 - cfg.Alpha), math.Log(cfg.Alpha / 2), math.Log(cfg.Alpha / 2)}
+	post, err := stats.NormalizeLog([]float64{li + logPrior[0], lab + logPrior[1], lba + logPrior[2]})
+	if err != nil {
+		post = []float64{1, 0, 0}
+	}
+	return Dependence{
+		Pair:   ov.Pair,
+		Prob:   post[1] + post[2],
+		ProbAB: post[1],
+		ProbBA: post[2],
+		Shared: len(ov.Objects),
+		Same:   ov.Same,
+		KT:     kt, KF: kf, KD: kd,
+	}
+}
+
+// Detect runs the full iterative loop on a frozen snapshot dataset.
+func Detect(d *dataset.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Frozen() {
+		return nil, fmt.Errorf("depen: dataset must be frozen")
+	}
+
+	// Candidate pairs and their overlaps are fixed across rounds.
+	candidates := d.Pairs(cfg.MinShared)
+
+	acc := make(map[model.SourceID]float64, len(d.Sources()))
+	for _, s := range d.Sources() {
+		acc[s] = cfg.Truth.InitialAccuracy
+	}
+
+	res := &Result{dirProb: map[model.SourceID]map[model.SourceID]float64{}}
+	var probs map[model.ObjectID]map[string]float64
+	var pairs []Dependence
+
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		// Truth step with dependence discounts from the previous round.
+		discount := makeDiscount(d, acc, res.dirProb, cfg.CopyRate)
+		probs = make(map[model.ObjectID]map[string]float64, len(d.Objects()))
+		for _, o := range d.Objects() {
+			scores := truth.ScoreValues(d.ValuesFor(o), acc, cfg.Truth.N, discountFor(discount, o))
+			scores = truth.ApplySimilarity(scores, cfg.Truth.ValueSim, cfg.Truth.ValueSimWeight)
+			probs[o] = cfg.Truth.ApplyKnown(o, truth.SoftmaxScores(scores))
+		}
+
+		// Accuracy step.
+		next := truth.UpdateAccuracySim(d, probs, cfg.Truth.PriorA, cfg.Truth.PriorB, cfg.Truth.ValueSim)
+
+		// Dependence step.
+		pairs = pairs[:0]
+		dir := map[model.SourceID]map[model.SourceID]float64{}
+		for _, ov := range candidates {
+			kt, kf, kd := evidence(d, ov, probs, cfg.Truth.ValueSim)
+			dep := scorePair(ov, kt, kf, kd, next, cfg)
+			pairs = append(pairs, dep)
+			setDir(dir, dep.Pair.A, dep.Pair.B, dep.ProbAB)
+			setDir(dir, dep.Pair.B, dep.Pair.A, dep.ProbBA)
+		}
+		res.dirProb = dir
+		res.Rounds = round
+
+		if truth.MaxAccuracyDelta(acc, next) < cfg.Tol {
+			acc = next
+			res.Converged = true
+			break
+		}
+		acc = next
+	}
+
+	res.Truth = &truth.Result{
+		Probs:     probs,
+		Accuracy:  acc,
+		Rounds:    res.Rounds,
+		Converged: res.Converged,
+	}
+	finishTruth(res.Truth)
+
+	res.AllPairs = make([]Dependence, len(pairs))
+	copy(res.AllPairs, pairs)
+	sortDeps(res.AllPairs)
+	for _, p := range res.AllPairs {
+		if p.Prob >= cfg.DepThreshold {
+			res.Dependences = append(res.Dependences, p)
+		}
+	}
+	return res, nil
+}
+
+// finishTruth fills Chosen deterministically (mirrors truth.Result's
+// internal helper, which is unexported).
+func finishTruth(r *truth.Result) {
+	r.Chosen = make(map[model.ObjectID]string, len(r.Probs))
+	for o, pv := range r.Probs {
+		vals := make([]string, 0, len(pv))
+		for v := range pv {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		best, bestP := "", math.Inf(-1)
+		for _, v := range vals {
+			if pv[v] > bestP {
+				best, bestP = v, pv[v]
+			}
+		}
+		r.Chosen[o] = best
+	}
+}
+
+func setDir(m map[model.SourceID]map[model.SourceID]float64, from, to model.SourceID, p float64) {
+	inner, ok := m[from]
+	if !ok {
+		inner = map[model.SourceID]float64{}
+		m[from] = inner
+	}
+	inner[to] = p
+}
+
+func sortDeps(deps []Dependence) {
+	sort.Slice(deps, func(i, j int) bool {
+		if deps[i].Prob != deps[j].Prob {
+			return deps[i].Prob > deps[j].Prob
+		}
+		if deps[i].Pair.A != deps[j].Pair.A {
+			return deps[i].Pair.A < deps[j].Pair.A
+		}
+		return deps[i].Pair.B < deps[j].Pair.B
+	})
+}
+
+// discountTable maps (object independent of) source orderings to vote
+// multipliers; built once per round.
+type discountTable struct {
+	d    *dataset.Dataset
+	acc  map[model.SourceID]float64
+	dir  map[model.SourceID]map[model.SourceID]float64
+	c    float64
+	memo map[model.ObjectID]map[model.SourceID]float64
+}
+
+func makeDiscount(d *dataset.Dataset, acc map[model.SourceID]float64,
+	dir map[model.SourceID]map[model.SourceID]float64, c float64) *discountTable {
+	return &discountTable{d: d, acc: acc, dir: dir, c: c,
+		memo: map[model.ObjectID]map[model.SourceID]float64{}}
+}
+
+// discountFor adapts the table to truth.ScoreValues' callback signature for
+// a fixed object.
+func discountFor(t *discountTable, o model.ObjectID) func(s model.SourceID, v string) float64 {
+	if t == nil {
+		return nil
+	}
+	return func(s model.SourceID, v string) float64 { return t.factor(o, v, s) }
+}
+
+// factor returns the independence probability of s's vote for value v on
+// object o: the probability that s did NOT copy its value from any
+// higher-ranked source asserting the same value. Sources are ranked by
+// accuracy (descending, ties by id) so the most credible provider keeps the
+// full vote — the greedy order of the VLDB 2009 vote-count computation.
+//
+// The discount uses the pair's TOTAL dependence posterior rather than the
+// directional split: within a clique asserting the same value, what matters
+// is how many independent origins the value has, and when the direction is
+// ambiguous (identical sources) a directional split would leak votes — a
+// fully dependent pair would keep 1.6 votes instead of ~1.2. Charging the
+// lower-ranked member the full dependence implements the paper's "ignore
+// the values provided by S4 and S5 during the voting process".
+func (t *discountTable) factor(o model.ObjectID, v string, s model.SourceID) float64 {
+	if m, ok := t.memo[o]; ok {
+		if f, ok := m[s]; ok {
+			return f
+		}
+	}
+	// Collect the sources asserting v on o and rank them.
+	var group []model.SourceID
+	for _, g := range t.d.ValuesFor(o) {
+		if g.Value == v {
+			group = append(group, g.Sources...)
+			break
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		ai, aj := t.acc[group[i]], t.acc[group[j]]
+		if ai != aj {
+			return ai > aj
+		}
+		return group[i] < group[j]
+	})
+	m, ok := t.memo[o]
+	if !ok {
+		m = map[model.SourceID]float64{}
+		t.memo[o] = m
+	}
+	for i, si := range group {
+		f := 1.0
+		for j := 0; j < i; j++ {
+			dep := t.dirOf(si, group[j]) + t.dirOf(group[j], si)
+			if dep > 1 {
+				dep = 1
+			}
+			f *= 1 - t.c*dep
+		}
+		m[si] = f
+	}
+	if f, ok := m[s]; ok {
+		return f
+	}
+	return 1
+}
+
+func (t *discountTable) dirOf(from, to model.SourceID) float64 {
+	if m, ok := t.dir[from]; ok {
+		return m[to]
+	}
+	return 0
+}
+
+// AccuracySplit reports source s's estimated accuracy on the objects it
+// shares with other, versus on the objects it provides alone — intuition 2
+// of §3.2: a significant gap marks s as a (possibly partial) copier of
+// other. Probabilities come from an existing truth result.
+type AccuracySplit struct {
+	Source, Other   model.SourceID
+	OnOverlap       float64 // accuracy on shared objects
+	OffOverlap      float64 // accuracy on s's exclusive objects
+	NOn, NOff       int     // sample sizes
+	Gap             float64 // |OnOverlap − OffOverlap|
+	LikelyDependent bool    // gap significant given the sample sizes
+}
+
+// SplitAccuracy computes the AccuracySplit of s against other.
+func SplitAccuracy(d *dataset.Dataset, probs map[model.ObjectID]map[string]float64,
+	s, other model.SourceID) AccuracySplit {
+	var onSum, offSum float64
+	var nOn, nOff int
+	for _, o := range d.ObjectsOf(s) {
+		v, _ := d.Value(s, o)
+		p := probs[o][v]
+		if _, shared := d.Value(other, o); shared {
+			onSum += p
+			nOn++
+		} else {
+			offSum += p
+			nOff++
+		}
+	}
+	sp := AccuracySplit{Source: s, Other: other, NOn: nOn, NOff: nOff}
+	if nOn > 0 {
+		sp.OnOverlap = onSum / float64(nOn)
+	}
+	if nOff > 0 {
+		sp.OffOverlap = offSum / float64(nOff)
+	}
+	sp.Gap = math.Abs(sp.OnOverlap - sp.OffOverlap)
+	// Two-proportion z-test against the pooled accuracy; significant gaps
+	// with both samples populated mark likely (partial) dependence.
+	if nOn > 0 && nOff > 0 {
+		pooled := (onSum + offSum) / float64(nOn+nOff)
+		se := math.Sqrt(pooled * (1 - pooled) * (1/float64(nOn) + 1/float64(nOff)))
+		if se > 0 {
+			z := sp.Gap / se
+			sp.LikelyDependent = z > 1.96
+		}
+	}
+	return sp
+}

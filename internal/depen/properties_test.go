@@ -1,0 +1,131 @@
+package depen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/model"
+	"sourcecurrents/internal/stats"
+)
+
+// Property tests on the Bayesian core: the posteriors must behave like
+// probabilities under arbitrary evidence, and the evidence channels must
+// move them in the documented directions.
+
+func TestPairHypothesesPosteriorIsDistribution(t *testing.T) {
+	f := func(seedRaw int64) bool {
+		rng := rand.New(rand.NewSource(seedRaw))
+		kt := rng.Float64() * 50
+		kf := rng.Float64() * 20
+		kd := rng.Float64() * 50
+		a1 := 0.05 + rng.Float64()*0.9
+		a2 := 0.05 + rng.Float64()*0.9
+		c := 0.05 + rng.Float64()*0.9
+		li, lab, lba := pairHypotheses(kt, kf, kd, a1, a2, c, 100)
+		post, err := stats.NormalizeLog([]float64{li, lab, lba})
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, p := range post {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedFalseMonotonicallyIncreasesDependence(t *testing.T) {
+	// Adding shared-false evidence must never reduce the dependence
+	// posterior.
+	prev := -1.0
+	for kf := 0.0; kf <= 20; kf++ {
+		li, lab, lba := pairHypotheses(5, kf, 2, 0.8, 0.7, 0.8, 100)
+		post, err := stats.NormalizeLog([]float64{li, lab, lba})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep := post[1] + post[2]
+		if dep < prev-1e-9 {
+			t.Fatalf("dependence dropped at kf=%v: %v < %v", kf, dep, prev)
+		}
+		prev = dep
+	}
+}
+
+func TestDisagreementMonotonicallyDecreasesDependence(t *testing.T) {
+	prev := 2.0
+	for kd := 0.0; kd <= 20; kd++ {
+		li, lab, lba := pairHypotheses(5, 3, kd, 0.8, 0.7, 0.8, 100)
+		post, err := stats.NormalizeLog([]float64{li, lab, lba})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep := post[1] + post[2]
+		if dep > prev+1e-9 {
+			t.Fatalf("dependence rose at kd=%v: %v > %v", kd, dep, prev)
+		}
+		prev = dep
+	}
+}
+
+func TestDetectPosteriorsAreProbabilitiesOnRandomWorlds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := dataset.New()
+		nObj := 20 + rng.Intn(30)
+		nSrc := 3 + rng.Intn(4)
+		for i := 0; i < nObj; i++ {
+			o := model.Obj(fmt.Sprintf("o%d", i), "v")
+			for s := 0; s < nSrc; s++ {
+				v := fmt.Sprintf("T%d", i)
+				if rng.Float64() < 0.3 {
+					v = fmt.Sprintf("F%d_%d", i, rng.Intn(5))
+				}
+				_ = d.Add(model.NewClaim(model.SourceID(fmt.Sprintf("S%d", s)), o, v))
+			}
+		}
+		d.Freeze()
+		cfg := DefaultConfig()
+		cfg.MaxRounds = 4
+		res, err := Detect(d, cfg)
+		if err != nil {
+			return false
+		}
+		for _, dp := range res.AllPairs {
+			if dp.Prob < -1e-9 || dp.Prob > 1+1e-9 {
+				return false
+			}
+			if dp.ProbAB < -1e-9 || dp.ProbBA < -1e-9 {
+				return false
+			}
+		}
+		for _, pv := range res.Truth.Probs {
+			var sum float64
+			for _, p := range pv {
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return false
+			}
+		}
+		for _, a := range res.Truth.Accuracy {
+			if a <= 0 || a >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,292 @@
+package dissim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/model"
+)
+
+func ratingObj(e string) model.ObjectID { return model.Obj(e, dataset.RatingAttr) }
+
+func TestScale(t *testing.T) {
+	s := GoodNeutralBad()
+	if l, ok := s.Level("Good"); !ok || l != 2 {
+		t.Fatalf("Level(Good) = %d,%v", l, ok)
+	}
+	if _, ok := s.Level("Meh"); ok {
+		t.Fatal("unknown label accepted")
+	}
+	if !s.Opposed("Good", "Bad") {
+		t.Fatal("Good vs Bad should oppose")
+	}
+	if s.Opposed("Good", "Neutral") {
+		t.Fatal("Neutral opposes nothing")
+	}
+	if s.Opposed("Good", "Good") {
+		t.Fatal("same label cannot oppose")
+	}
+	if s.Opposed("Good", "Unknown") {
+		t.Fatal("unknown label cannot oppose")
+	}
+	// Even-length scale: midpoint between levels.
+	s4 := NewScale("Terrible", "Bad", "Good", "Great")
+	if !s4.Opposed("Bad", "Good") {
+		t.Fatal("4-level scale: Bad vs Good should oppose")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Independent.String() != "independent" ||
+		Similarity.String() != "similarity-dependent" ||
+		Dissimilarity.String() != "dissimilarity-dependent" {
+		t.Fatal("Kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.Scale = Scale{} },
+		func(c *Config) { c.MinOverlap = 0 },
+		func(c *Config) { c.ZThreshold = 0 },
+		func(c *Config) { c.Smoothing = 0 },
+	} {
+		c := DefaultConfig()
+		mut(&c)
+		if c.Validate() == nil {
+			t.Fatalf("invalid config accepted")
+		}
+	}
+}
+
+func TestDetectRequiresFrozen(t *testing.T) {
+	d := dataset.New()
+	_ = d.Add(model.NewClaim("R1", ratingObj("m"), "Good"))
+	if _, err := Detect(d, DefaultConfig()); err == nil {
+		t.Fatal("unfrozen dataset accepted")
+	}
+}
+
+func TestTable2ContrarianPair(t *testing.T) {
+	// Example 2.2: R4 always opposes R1. The opposition count (3 of 3
+	// co-rated movies polarity-opposed) clears its null even with three
+	// items, because opposed ratings are rare under independence.
+	res, err := Detect(dataset.Table2(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Verdict("R1", "R4")
+	if v.Kind != Dissimilarity {
+		t.Fatalf("R1~R4 verdict = %v (z=%.2f, zOpp=%.2f, opposed %d/%d)",
+			v.Kind, v.Z, v.ZOpp, v.Opposed, v.Overlap)
+	}
+	if v.Opposed != 3 || v.Agreed != 0 {
+		t.Fatalf("R1~R4 stats: %+v", v)
+	}
+	if v.ZOpp < 1.64 {
+		t.Fatalf("contrarian zOpp = %v, want significant", v.ZOpp)
+	}
+	// The R1~R4 pair must carry the strongest opposition among all pairs.
+	for _, dep := range res.Pairs {
+		if dep.Pair != model.NewSourcePair("R1", "R4") && dep.ZOpp >= v.ZOpp {
+			t.Errorf("pair %v zOpp %.2f >= contrarian's %.2f", dep.Pair, dep.ZOpp, v.ZOpp)
+		}
+	}
+}
+
+// synthRaters builds a rating world: nItems items with latent quality,
+// honest raters with noise, one contrarian of R0, and one copier of R0.
+func synthRaters(seed int64, nItems, nHonest int) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"Bad", "Neutral", "Good"}
+	d := dataset.New()
+	opposite := map[string]string{"Bad": "Good", "Neutral": "Neutral", "Good": "Bad"}
+	for i := 0; i < nItems; i++ {
+		o := ratingObj(fmt.Sprintf("item%03d", i))
+		quality := rng.Intn(3)
+		rate := func() string {
+			l := quality
+			if r := rng.Float64(); r < 0.2 {
+				l = rng.Intn(3)
+			}
+			return labels[l]
+		}
+		r0 := rate()
+		_ = d.Add(model.NewClaim("R0", o, r0))
+		for h := 1; h <= nHonest; h++ {
+			_ = d.Add(model.NewClaim(model.SourceID(fmt.Sprintf("R%d", h)), o, rate()))
+		}
+		_ = d.Add(model.NewClaim("CONTRA", o, opposite[r0]))
+		_ = d.Add(model.NewClaim("COPY", o, r0))
+	}
+	d.Freeze()
+	return d
+}
+
+func TestSyntheticContrarianAndCopier(t *testing.T) {
+	d := synthRaters(3, 40, 4)
+	res, err := Detect(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Verdict("CONTRA", "R0"); v.Kind != Dissimilarity {
+		t.Errorf("contrarian verdict = %v (z=%.2f, zOpp=%.2f)", v.Kind, v.Z, v.ZOpp)
+	}
+	if v := res.Verdict("COPY", "R0"); v.Kind != Similarity {
+		t.Errorf("copier verdict = %v (z=%.2f)", v.Kind, v.Z)
+	}
+	// Honest raters vs R0: independent — this is the correlated-
+	// information challenge; they share tastes (the latent quality) but
+	// conditioning on consensus absorbs that.
+	for h := 1; h <= 4; h++ {
+		v := res.Verdict("R0", model.SourceID(fmt.Sprintf("R%d", h)))
+		if v.Kind != Independent {
+			t.Errorf("honest rater R%d flagged %v (z=%.2f)", h, v.Kind, v.Z)
+		}
+	}
+}
+
+func TestCorrelatedFansNotFlagged(t *testing.T) {
+	// Two raters who both follow popular opinion exactly: their mutual
+	// agreement is fully explained by consensus. They must stay
+	// independent even though their raw agreement rate is 100%.
+	rng := rand.New(rand.NewSource(11))
+	labels := []string{"Bad", "Neutral", "Good"}
+	d := dataset.New()
+	for i := 0; i < 40; i++ {
+		o := ratingObj(fmt.Sprintf("m%02d", i))
+		quality := labels[rng.Intn(3)]
+		_ = d.Add(model.NewClaim("FAN1", o, quality))
+		_ = d.Add(model.NewClaim("FAN2", o, quality))
+		// A large honest population also rating at quality.
+		for h := 0; h < 6; h++ {
+			v := quality
+			if rng.Float64() < 0.15 {
+				v = labels[rng.Intn(3)]
+			}
+			_ = d.Add(model.NewClaim(model.SourceID(fmt.Sprintf("H%d", h)), o, v))
+		}
+	}
+	d.Freeze()
+	res, err := Detect(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Verdict("FAN1", "FAN2")
+	// Agreement is perfect but largely predicted by consensus; the z
+	// score must be far below what a true copier of a NOISY rater scores.
+	if v.Kind == Dissimilarity {
+		t.Fatalf("fans flagged dissimilar: %+v", v)
+	}
+	d2 := synthRaters(7, 40, 4)
+	res2, _ := Detect(d2, DefaultConfig())
+	copier := res2.Verdict("COPY", "R0")
+	if copier.Z <= v.Z {
+		t.Errorf("noisy-rater copier z=%.2f should exceed consensus-fan z=%.2f", copier.Z, v.Z)
+	}
+}
+
+func TestConsensusDropsContrarian(t *testing.T) {
+	cfg := DefaultConfig()
+	d := dataset.Table2()
+	res, err := Detect(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	excluded := Excluded(d, res)
+	// R4 (fewer... equal counts; tie keeps the later one dropped — assert
+	// membership rather than identity) must be among the dropped raters.
+	foundR4 := false
+	for _, s := range excluded {
+		if s == "R4" || s == "R1" {
+			foundR4 = true
+		}
+	}
+	if !foundR4 {
+		t.Fatalf("neither member of the contrarian pair dropped: %v", excluded)
+	}
+
+	with := Consensus(d, res, cfg, KeepAll)
+	without := Consensus(d, res, cfg, DropDependents)
+	// Dropping the contrarian must change some item's mean level.
+	changed := false
+	for o, w := range with {
+		if wo, ok := without[o]; ok && math.Abs(wo.MeanLevel-w.MeanLevel) > 1e-9 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("consensus unchanged after dropping contrarian")
+	}
+}
+
+func TestConsensusDistributionsNormalized(t *testing.T) {
+	d := dataset.Table2()
+	cons := Consensus(d, nil, DefaultConfig(), KeepAll)
+	if len(cons) != 3 {
+		t.Fatalf("consensus items = %d", len(cons))
+	}
+	for o, c := range cons {
+		var sum float64
+		for _, p := range c.Dist {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%v dist sums to %v", o, sum)
+		}
+		if c.MeanLevel < 0 || c.MeanLevel > 2 {
+			t.Errorf("%v mean level %v out of scale", o, c.MeanLevel)
+		}
+		if c.Raters != 4 {
+			t.Errorf("%v raters = %d", o, c.Raters)
+		}
+	}
+}
+
+func TestVerdictUnanalyzed(t *testing.T) {
+	res := &Result{}
+	v := res.Verdict("A", "B")
+	if v.Kind != Independent {
+		t.Fatal("unanalyzed pair should default independent")
+	}
+}
+
+func TestMinOverlapFilter(t *testing.T) {
+	d := dataset.New()
+	_ = d.Add(model.NewClaim("A", ratingObj("x"), "Good"))
+	_ = d.Add(model.NewClaim("B", ratingObj("x"), "Bad"))
+	d.Freeze()
+	res, err := Detect(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 0 {
+		t.Fatalf("pair below MinOverlap analyzed: %v", res.Pairs)
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	d := synthRaters(5, 30, 3)
+	r1, err := Detect(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := Detect(d, DefaultConfig())
+	if len(r1.Pairs) != len(r2.Pairs) {
+		t.Fatal("pair counts differ")
+	}
+	for i := range r1.Pairs {
+		if r1.Pairs[i] != r2.Pairs[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the headline claims each experiment must reproduce; the
+// full tables are printed by cmd/experiments and recorded in EXPERIMENTS.md.
+
+func TestEX1HeadlineClaims(t *testing.T) {
+	rep := EX1Table1()
+	out := rep.String()
+	if !strings.Contains(out, "naive voting") || !strings.Contains(out, "0.400") {
+		t.Fatalf("EX1 should show naive voting at 2/5 = 0.4:\n%s", out)
+	}
+	if !strings.Contains(out, "DEPEN + 2 labeled objects") || !strings.Contains(out, "1.000") {
+		t.Fatalf("EX1 should show the labeled run at 5/5:\n%s", out)
+	}
+	if !strings.Contains(out, "S3~S4") {
+		t.Fatalf("EX1 should flag the copier clique:\n%s", out)
+	}
+}
+
+func TestEX2HeadlineClaims(t *testing.T) {
+	out := EX2Table2().String()
+	if !strings.Contains(out, "R1~R4") || !strings.Contains(out, "dissimilarity-dependent") {
+		t.Fatalf("EX2 should flag R1~R4:\n%s", out)
+	}
+}
+
+func TestEX3HeadlineClaims(t *testing.T) {
+	out := EX3Table3().String()
+	if !strings.Contains(out, "zero false values") {
+		t.Fatalf("EX3 should report no false values:\n%s", out)
+	}
+	if !strings.Contains(out, "S1~S3") {
+		t.Fatalf("EX3 should analyze the lazy copier pair:\n%s", out)
+	}
+}
+
+func TestEX4SmallScale(t *testing.T) {
+	rep := EX4AbeBooks(SmallEX4Config())
+	out := rep.String()
+	for _, want := range []string{"bookstores", "Dependence discovery", "Q1 books on Java Programming"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("EX4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEX5Through10Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps")
+	}
+	for _, rep := range []*Report{
+		EX5CopySweep(11, 120),
+		EX6TruthSweep(13, 120),
+		EX7TemporalSweep(17, 40),
+		EX8QueryOrder(19),
+		EX9DissimSweep(23),
+		EX10Winnow(29, 120),
+		RecommendDemo(),
+	} {
+		if len(rep.Tables) == 0 {
+			t.Fatalf("%s produced no tables", rep.ID)
+		}
+		if rep.String() == "" {
+			t.Fatalf("%s renders empty", rep.ID)
+		}
+	}
+}
+
+func TestBookSimMemoizesAndThresholds(t *testing.T) {
+	sim := BookSim()
+	a := "Jeffrey Ullman; Jennifer Widom"
+	b := "J. Ullman; J. Widom"
+	if s := sim(a, b); s < 0.75 {
+		t.Fatalf("representation pair sim = %v", s)
+	}
+	if s := sim(a, "Donald Knuth"); s != 0 {
+		t.Fatalf("unrelated pair sim = %v, want 0 below threshold", s)
+	}
+	if sim(a, b) != sim(b, a) {
+		t.Fatal("sim not symmetric")
+	}
+}

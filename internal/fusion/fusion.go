@@ -1,0 +1,247 @@
+// Package fusion implements data fusion — the first application of §4:
+// combining conflicting data from multiple sources into a single (possibly
+// probabilistic) view, with and without awareness of source dependence.
+//
+// Strategies range from the classical conflict-handling baselines (Bleiholder
+// & Naumann's survey [3]: keep-first, majority) through accuracy-weighted
+// voting to the dependence-aware resolver that consumes a depen.Result. The
+// probabilistic output path materializes a probdb.Relation so downstream
+// query answering can work with value distributions instead of point
+// choices.
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/depen"
+	"sourcecurrents/internal/model"
+	"sourcecurrents/internal/probdb"
+	"sourcecurrents/internal/truth"
+)
+
+// Strategy selects the conflict-resolution policy.
+type Strategy int
+
+const (
+	// KeepFirst takes the value of the lexicographically first source
+	// providing one (a deterministic stand-in for "trust my favorite
+	// source").
+	KeepFirst Strategy = iota
+	// Majority takes the plurality value (naive voting).
+	Majority
+	// Weighted runs accuracy-weighted iterative truth discovery (ACCU).
+	Weighted
+	// DependenceAware runs the full copy-aware solver (DEPEN/ACCUCOPY).
+	DependenceAware
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case KeepFirst:
+		return "keep-first"
+	case Majority:
+		return "majority"
+	case Weighted:
+		return "weighted"
+	case DependenceAware:
+		return "dependence-aware"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Config parameterizes Fuse.
+type Config struct {
+	Strategy Strategy
+	// Truth configures the iterative strategies.
+	Truth truth.Config
+	// Depen configures the dependence-aware strategy.
+	Depen depen.Config
+	// MinProb drops fused values whose posterior falls below it (0 keeps
+	// everything).
+	MinProb float64
+}
+
+// DefaultConfig fuses dependence-aware with default solver parameters.
+func DefaultConfig() Config {
+	return Config{
+		Strategy: DependenceAware,
+		Truth:    truth.DefaultConfig(),
+		Depen:    depen.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.MinProb < 0 || c.MinProb >= 1 {
+		return errors.New("fusion: MinProb must be in [0,1)")
+	}
+	switch c.Strategy {
+	case KeepFirst, Majority:
+		return nil
+	case Weighted:
+		return c.Truth.Validate()
+	case DependenceAware:
+		return c.Depen.Validate()
+	}
+	return fmt.Errorf("fusion: unknown strategy %d", int(c.Strategy))
+}
+
+// Result is a fused view of the dataset.
+type Result struct {
+	// Chosen maps each object to its resolved value.
+	Chosen map[model.ObjectID]string
+	// Relation is the probabilistic output (per-object value
+	// distributions). For KeepFirst the chosen value carries probability 1.
+	Relation *probdb.Relation
+	// Truth carries the underlying truth-discovery result for the
+	// iterative strategies (nil otherwise).
+	Truth *truth.Result
+	// Depen carries the dependence result for DependenceAware (nil
+	// otherwise).
+	Depen *depen.Result
+	// Strategy echoes the policy used.
+	Strategy Strategy
+}
+
+// Fuse resolves all conflicts in a frozen dataset under the configured
+// strategy.
+func Fuse(d *dataset.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Frozen() {
+		return nil, errors.New("fusion: dataset must be frozen")
+	}
+	res := &Result{
+		Chosen:   map[model.ObjectID]string{},
+		Relation: probdb.NewRelation("fused"),
+		Strategy: cfg.Strategy,
+	}
+	switch cfg.Strategy {
+	case KeepFirst:
+		for _, o := range d.Objects() {
+			groups := d.ValuesFor(o)
+			best := ""
+			bestSrc := model.SourceID("")
+			for _, g := range groups {
+				for _, s := range g.Sources {
+					if bestSrc == "" || s < bestSrc {
+						bestSrc, best = s, g.Value
+					}
+				}
+			}
+			res.Chosen[o] = best
+			if err := res.Relation.Put(probdb.XTuple{
+				Object:       o,
+				Alternatives: []probdb.Alternative{{Value: best, Prob: 1}},
+			}); err != nil {
+				return nil, err
+			}
+		}
+	case Majority:
+		tr := truth.Vote(d)
+		res.Truth = tr
+		if err := fillFromProbs(res, tr.Probs, tr.Chosen, cfg.MinProb); err != nil {
+			return nil, err
+		}
+	case Weighted:
+		tr, err := truth.Accu(d, cfg.Truth)
+		if err != nil {
+			return nil, err
+		}
+		res.Truth = tr
+		if err := fillFromProbs(res, tr.Probs, tr.Chosen, cfg.MinProb); err != nil {
+			return nil, err
+		}
+	case DependenceAware:
+		dr, err := depen.Detect(d, cfg.Depen)
+		if err != nil {
+			return nil, err
+		}
+		res.Depen = dr
+		res.Truth = dr.Truth
+		if err := fillFromProbs(res, dr.Truth.Probs, dr.Truth.Chosen, cfg.MinProb); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func fillFromProbs(res *Result, probs map[model.ObjectID]map[string]float64,
+	chosen map[model.ObjectID]string, minProb float64) error {
+	objs := make([]model.ObjectID, 0, len(probs))
+	for o := range probs {
+		objs = append(objs, o)
+	}
+	model.SortObjects(objs)
+	for _, o := range objs {
+		pv := probs[o]
+		vals := make([]string, 0, len(pv))
+		for v := range pv {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		var alts []probdb.Alternative
+		for _, v := range vals {
+			if pv[v] >= minProb && pv[v] > 0 {
+				alts = append(alts, probdb.Alternative{Value: v, Prob: pv[v]})
+			}
+		}
+		if err := res.Relation.Put(probdb.XTuple{Object: o, Alternatives: alts}); err != nil {
+			return err
+		}
+		res.Chosen[o] = chosen[o]
+	}
+	return nil
+}
+
+// Accuracy scores a fused result against a ground-truth world: the fraction
+// of objects whose chosen value equals the current true value.
+func Accuracy(res *Result, w *model.World) float64 {
+	if len(res.Chosen) == 0 {
+		return 0
+	}
+	var right, total int
+	for o, v := range res.Chosen {
+		want, ok := w.TrueNow(o)
+		if !ok {
+			continue
+		}
+		total++
+		if v == want {
+			right++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(right) / float64(total)
+}
+
+// Compare fuses the same dataset under several strategies and reports each
+// strategy's accuracy against the world — the harness behind the
+// "who wins" tables.
+type Comparison struct {
+	Strategy Strategy
+	Accuracy float64
+	Result   *Result
+}
+
+// Compare runs the listed strategies with the given config template.
+func Compare(d *dataset.Dataset, w *model.World, cfg Config, strategies ...Strategy) ([]Comparison, error) {
+	out := make([]Comparison, 0, len(strategies))
+	for _, st := range strategies {
+		c := cfg
+		c.Strategy = st
+		res, err := Fuse(d, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Comparison{Strategy: st, Accuracy: Accuracy(res, w), Result: res})
+	}
+	return out, nil
+}

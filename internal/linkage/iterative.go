@@ -1,0 +1,156 @@
+package linkage
+
+import (
+	"errors"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/truth"
+)
+
+// This file implements §4's iterative proposal: "iterative strategies can
+// simultaneously help in record linkage and in determining source
+// dependence" — linkage merges representations so truth discovery votes on
+// semantics, and truth discovery's beliefs feed back into the next linkage
+// round by vetoing merges between a well-supported value and a form the
+// current belief says is wrong.
+
+// IterativeConfig parameterizes LinkThenDiscover.
+type IterativeConfig struct {
+	Linkage Config
+	Truth   truth.Config
+	// Rounds is the number of linkage<->truth alternations (1 = plain
+	// pipeline).
+	Rounds int
+	// VetoBelief is the posterior above which a cluster canonical is
+	// considered established; a variant whose own belief is below
+	// VetoRatio times the canonical's is re-examined as a wrong value
+	// rather than a representation in the next round.
+	VetoBelief float64
+	VetoRatio  float64
+}
+
+// DefaultIterativeConfig returns two rounds with moderate vetoes.
+func DefaultIterativeConfig() IterativeConfig {
+	return IterativeConfig{
+		Linkage:    DefaultConfig(),
+		Truth:      truth.DefaultConfig(),
+		Rounds:     2,
+		VetoBelief: 0.6,
+		VetoRatio:  0.2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c IterativeConfig) Validate() error {
+	if err := c.Linkage.Validate(); err != nil {
+		return err
+	}
+	if err := c.Truth.Validate(); err != nil {
+		return err
+	}
+	if c.Rounds < 1 {
+		return errors.New("linkage: Rounds must be >= 1")
+	}
+	if c.VetoBelief <= 0 || c.VetoBelief > 1 {
+		return errors.New("linkage: VetoBelief must be in (0,1]")
+	}
+	if c.VetoRatio < 0 || c.VetoRatio >= 1 {
+		return errors.New("linkage: VetoRatio must be in [0,1)")
+	}
+	return nil
+}
+
+// IterativeResult is the outcome of LinkThenDiscover.
+type IterativeResult struct {
+	// Linkage is the final round's linkage result; Truth the truth result
+	// over its canonicalized dataset.
+	Linkage *Result
+	Truth   *truth.Result
+	// Rounds actually executed.
+	Rounds int
+}
+
+// LinkThenDiscover alternates record linkage and truth discovery. Round 1
+// links on string similarity alone; later rounds re-link with a similarity
+// function that refuses to merge forms whose truth beliefs diverge sharply
+// (an established canonical and a form the votes say is wrong stay apart
+// even if the strings are close — the "Xing Dong" case).
+func LinkThenDiscover(d *dataset.Dataset, cfg IterativeConfig) (*IterativeResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Frozen() {
+		return nil, errors.New("linkage: dataset must be frozen")
+	}
+	linkCfg := cfg.Linkage
+	var lres *Result
+	var tres *truth.Result
+	var err error
+	rounds := 0
+	for r := 0; r < cfg.Rounds; r++ {
+		lres, err = Link(d, linkCfg)
+		if err != nil {
+			return nil, err
+		}
+		tres, err = truth.Accu(lres.Rewritten, cfg.Truth)
+		if err != nil {
+			return nil, err
+		}
+		rounds = r + 1
+		if r+1 == cfg.Rounds {
+			break
+		}
+		// Build the veto for the next round: per object, the set of raw
+		// forms whose canonical belief is high but whose own raw support
+		// is negligible relative to the canonical — candidates for being
+		// wrong values rather than representations.
+		veto := buildVeto(d, lres, tres, cfg)
+		baseSim := cfg.Linkage.Sim
+		linkCfg.Sim = func(a, b string) float64 {
+			if veto[pairKey(a, b)] {
+				return 0
+			}
+			return baseSim(a, b)
+		}
+	}
+	return &IterativeResult{Linkage: lres, Truth: tres, Rounds: rounds}, nil
+}
+
+func pairKey(a, b string) [2]string {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// buildVeto returns the form pairs the next linkage round must not merge.
+func buildVeto(d *dataset.Dataset, lres *Result, tres *truth.Result,
+	cfg IterativeConfig) map[[2]string]bool {
+	veto := map[[2]string]bool{}
+	for _, o := range d.Objects() {
+		for _, c := range lres.ClustersOf(o) {
+			canonBelief := tres.Probs[o][c.Canonical]
+			if canonBelief < cfg.VetoBelief {
+				continue
+			}
+			for _, w := range c.WrongValueForms {
+				// A wrong-value form inside an established cluster: keep
+				// it out of the canonical's cluster next round when its
+				// support ratio is negligible.
+				if float64(supportOf(c, w)) <= cfg.VetoRatio*float64(c.Support) {
+					veto[pairKey(c.Canonical, w)] = true
+				}
+			}
+		}
+	}
+	return veto
+}
+
+func supportOf(c Cluster, form string) int {
+	for _, v := range c.Variants {
+		if v.Value == form {
+			return v.Support
+		}
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+package linkage
+
+import (
+	"fmt"
+	"testing"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/model"
+)
+
+func TestIterativeConfigValidate(t *testing.T) {
+	if err := DefaultIterativeConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func(*IterativeConfig){
+		func(c *IterativeConfig) { c.Rounds = 0 },
+		func(c *IterativeConfig) { c.VetoBelief = 0 },
+		func(c *IterativeConfig) { c.VetoRatio = 1 },
+		func(c *IterativeConfig) { c.Linkage.Sim = nil },
+		func(c *IterativeConfig) { c.Truth.N = 0 },
+	} {
+		c := DefaultIterativeConfig()
+		mut(&c)
+		if c.Validate() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}
+}
+
+func TestLinkThenDiscoverRequiresFrozen(t *testing.T) {
+	d := dataset.New()
+	_ = d.Add(model.NewClaim("S1", bookObj("i"), "A B"))
+	if _, err := LinkThenDiscover(d, DefaultIterativeConfig()); err == nil {
+		t.Fatal("unfrozen dataset accepted")
+	}
+}
+
+func TestLinkThenDiscoverSingleRoundEqualsPipeline(t *testing.T) {
+	d := dataset.New()
+	o := bookObj("i1")
+	_ = d.Add(model.NewClaim("S1", o, "Jeffrey Ullman"))
+	_ = d.Add(model.NewClaim("S2", o, "J. Ullman"))
+	_ = d.Add(model.NewClaim("S3", o, "Donald Knuth"))
+	d.Freeze()
+	cfg := DefaultIterativeConfig()
+	cfg.Rounds = 1
+	res, err := LinkThenDiscover(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+	// The linked cluster (2 supporters) must win truth discovery.
+	chosen := res.Truth.Chosen[o]
+	if chosen != "Jeffrey Ullman" {
+		t.Fatalf("chosen = %q", chosen)
+	}
+}
+
+func TestLinkThenDiscoverVetoSeparatesWrongValue(t *testing.T) {
+	// A typo form ("Xing Dong") sits close to the canonical; round 1
+	// merges it, but its negligible support inside an established cluster
+	// triggers the veto and round 2 splits it out.
+	d := dataset.New()
+	o := model.Obj("paper", "author")
+	for i := 0; i < 6; i++ {
+		_ = d.Add(model.NewClaim(model.SourceID(fmt.Sprintf("A%d", i)), o, "Xin Dong"))
+	}
+	_ = d.Add(model.NewClaim("B0", o, "Xing Dong"))
+	d.Freeze()
+	cfg := DefaultIterativeConfig()
+	cfg.Linkage.Sim = func(a, b string) float64 {
+		// Aggressive round-1 similarity that merges the typo.
+		if a == b {
+			return 1
+		}
+		return 0.9
+	}
+	cfg.Rounds = 2
+	res, err := LinkThenDiscover(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := res.Linkage.ClustersOf(o)
+	if len(clusters) != 2 {
+		t.Fatalf("after veto round, clusters = %d: %+v", len(clusters), clusters)
+	}
+	if res.Truth.Chosen[o] != "Xin Dong" {
+		t.Fatalf("chosen = %q", res.Truth.Chosen[o])
+	}
+}
+
+func TestLinkThenDiscoverStableWhenNothingToVeto(t *testing.T) {
+	d := dataset.New()
+	o := bookObj("i2")
+	_ = d.Add(model.NewClaim("S1", o, "Alpha Beta"))
+	_ = d.Add(model.NewClaim("S2", o, "Alpha Beta"))
+	_ = d.Add(model.NewClaim("S3", o, "Gamma Delta"))
+	d.Freeze()
+	cfg := DefaultIterativeConfig()
+	cfg.Rounds = 3
+	res, err := LinkThenDiscover(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+	if got := len(res.Linkage.ClustersOf(o)); got != 2 {
+		t.Fatalf("clusters = %d", got)
+	}
+}

@@ -1,0 +1,263 @@
+// Package probdb is a small probabilistic-database substrate.
+//
+// §4 of the paper observes that data fusion can "identify a probabilistic
+// distribution of possible values for each object and generate a
+// probabilistic database", and that answering queries over probabilistic
+// data "assumes independence of sources ... removing the independence
+// assumption can significantly change the computation of the probabilities
+// of the answer tuples". This package provides exactly that substrate:
+// x-tuples (disjoint alternatives per object), tuple-level confidence
+// queries, and evidence combination both under independence and under a
+// dependence discount.
+package probdb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sourcecurrents/internal/model"
+)
+
+// Alternative is one possible value of an x-tuple with its probability.
+type Alternative struct {
+	Value string
+	Prob  float64
+}
+
+// XTuple is a disjoint set of alternatives for one object; probabilities
+// sum to at most 1 (the remainder is "no value").
+type XTuple struct {
+	Object       model.ObjectID
+	Alternatives []Alternative
+}
+
+// Validate checks probability constraints.
+func (x XTuple) Validate() error {
+	var sum float64
+	seen := map[string]bool{}
+	for _, a := range x.Alternatives {
+		if a.Prob < 0 || a.Prob > 1+1e-9 {
+			return fmt.Errorf("probdb: %v alternative %q prob %v out of range", x.Object, a.Value, a.Prob)
+		}
+		if seen[a.Value] {
+			return fmt.Errorf("probdb: %v duplicate alternative %q", x.Object, a.Value)
+		}
+		seen[a.Value] = true
+		sum += a.Prob
+	}
+	if sum > 1+1e-6 {
+		return fmt.Errorf("probdb: %v alternatives sum to %v > 1", x.Object, sum)
+	}
+	return nil
+}
+
+// Top returns the highest-probability alternative (ties by smaller value).
+func (x XTuple) Top() (Alternative, bool) {
+	if len(x.Alternatives) == 0 {
+		return Alternative{}, false
+	}
+	alts := make([]Alternative, len(x.Alternatives))
+	copy(alts, x.Alternatives)
+	sort.Slice(alts, func(i, j int) bool {
+		if alts[i].Prob != alts[j].Prob {
+			return alts[i].Prob > alts[j].Prob
+		}
+		return alts[i].Value < alts[j].Value
+	})
+	return alts[0], true
+}
+
+// Prob returns the probability of a specific value.
+func (x XTuple) Prob(value string) float64 {
+	for _, a := range x.Alternatives {
+		if a.Value == value {
+			return a.Prob
+		}
+	}
+	return 0
+}
+
+// Relation is a set of x-tuples keyed by object.
+type Relation struct {
+	Name   string
+	Tuples map[model.ObjectID]XTuple
+}
+
+// NewRelation returns an empty relation.
+func NewRelation(name string) *Relation {
+	return &Relation{Name: name, Tuples: map[model.ObjectID]XTuple{}}
+}
+
+// Put validates and stores an x-tuple.
+func (r *Relation) Put(x XTuple) error {
+	if err := x.Validate(); err != nil {
+		return err
+	}
+	r.Tuples[x.Object] = x
+	return nil
+}
+
+// Get returns the x-tuple for an object.
+func (r *Relation) Get(o model.ObjectID) (XTuple, bool) {
+	x, ok := r.Tuples[o]
+	return x, ok
+}
+
+// Objects returns the relation's object ids in sorted order.
+func (r *Relation) Objects() []model.ObjectID {
+	out := make([]model.ObjectID, 0, len(r.Tuples))
+	for o := range r.Tuples {
+		out = append(out, o)
+	}
+	model.SortObjects(out)
+	return out
+}
+
+// Select returns the objects whose x-tuple assigns the predicate value a
+// probability of at least minProb, with that probability.
+type SelectResult struct {
+	Object model.ObjectID
+	Prob   float64
+}
+
+// SelectValue runs a tuple-confidence selection: objects whose probability
+// of having the given value meets minProb.
+func (r *Relation) SelectValue(value string, minProb float64) []SelectResult {
+	var out []SelectResult
+	for _, o := range r.Objects() {
+		p := r.Tuples[o].Prob(value)
+		if p >= minProb {
+			out = append(out, SelectResult{Object: o, Prob: p})
+		}
+	}
+	return out
+}
+
+// CombineIndependent merges per-source probabilities for the same value
+// assuming source independence: p = 1 - Π(1 - p_i). This is the
+// computation the paper says current integration systems use.
+func CombineIndependent(probs []float64) (float64, error) {
+	acc := 1.0
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			return 0, errors.New("probdb: probability out of range")
+		}
+		acc *= 1 - p
+	}
+	return 1 - acc, nil
+}
+
+// CombineDependent merges per-source probabilities when pairwise
+// dependence is known: each source's evidence is discounted by the
+// probability that it is independent of every earlier source, mirroring
+// the vote-discount of the copy-aware solver. dep[i][j] is the dependence
+// probability between sources i and j (symmetric, zero diagonal).
+// Sources are processed in the given order; the first contributes fully.
+func CombineDependent(probs []float64, dep [][]float64) (float64, error) {
+	n := len(probs)
+	if len(dep) != n {
+		return 0, errors.New("probdb: dependence matrix size mismatch")
+	}
+	for i := range dep {
+		if len(dep[i]) != n {
+			return 0, errors.New("probdb: dependence matrix not square")
+		}
+		for _, dv := range dep[i] {
+			if dv < 0 || dv > 1 {
+				return 0, errors.New("probdb: dependence out of range")
+			}
+		}
+	}
+	acc := 1.0
+	for i, p := range probs {
+		if p < 0 || p > 1 {
+			return 0, errors.New("probdb: probability out of range")
+		}
+		indep := 1.0
+		for j := 0; j < i; j++ {
+			indep *= 1 - dep[i][j]
+		}
+		acc *= 1 - p*indep
+	}
+	return 1 - acc, nil
+}
+
+// PossibleWorlds enumerates the possible worlds of a set of x-tuples (each
+// object independently picks one alternative or none) and returns each
+// world with its probability. Exponential; intended for small tuple sets
+// (tests, examples, spot checks of query semantics).
+type World struct {
+	Assignment map[model.ObjectID]string // absent key = no value
+	Prob       float64
+}
+
+// PossibleWorlds enumerates worlds for the given objects of the relation.
+// It returns an error if the expansion would exceed maxWorlds.
+func (r *Relation) PossibleWorlds(objects []model.ObjectID, maxWorlds int) ([]World, error) {
+	worlds := []World{{Assignment: map[model.ObjectID]string{}, Prob: 1}}
+	for _, o := range objects {
+		x, ok := r.Tuples[o]
+		if !ok {
+			continue
+		}
+		var rest float64 = 1
+		for _, a := range x.Alternatives {
+			rest -= a.Prob
+		}
+		if rest < 0 {
+			rest = 0
+		}
+		var next []World
+		for _, w := range worlds {
+			for _, a := range x.Alternatives {
+				if a.Prob == 0 {
+					continue
+				}
+				na := make(map[model.ObjectID]string, len(w.Assignment)+1)
+				for k, v := range w.Assignment {
+					na[k] = v
+				}
+				na[o] = a.Value
+				next = append(next, World{Assignment: na, Prob: w.Prob * a.Prob})
+			}
+			if rest > 1e-12 {
+				na := make(map[model.ObjectID]string, len(w.Assignment))
+				for k, v := range w.Assignment {
+					na[k] = v
+				}
+				next = append(next, World{Assignment: na, Prob: w.Prob * rest})
+			}
+			if len(next) > maxWorlds {
+				return nil, fmt.Errorf("probdb: possible worlds exceed %d", maxWorlds)
+			}
+		}
+		worlds = next
+	}
+	return worlds, nil
+}
+
+// ExpectedCount returns, via possible-worlds expansion, the expectation and
+// variance of the number of objects taking the given value.
+func (r *Relation) ExpectedCount(objects []model.ObjectID, value string) (mean, variance float64) {
+	for _, o := range objects {
+		p := 0.0
+		if x, ok := r.Tuples[o]; ok {
+			p = x.Prob(value)
+		}
+		mean += p
+		variance += p * (1 - p)
+	}
+	return mean, variance
+}
+
+// TotalProb returns the summed probability mass of an x-tuple (useful for
+// normalization checks).
+func (x XTuple) TotalProb() float64 {
+	var sum float64
+	for _, a := range x.Alternatives {
+		sum += a.Prob
+	}
+	return math.Min(sum, 1)
+}

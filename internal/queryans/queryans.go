@@ -1,0 +1,337 @@
+// Package queryans implements online (top-k) query answering — the third
+// application of §4: "rather than necessarily going to all data sources and
+// then combining the retrieved answers, we want to visit the most promising
+// sources and avoid going to sources dependent on, or having been copied
+// by, the ones already visited."
+//
+// The planner probes sources one at a time. After each probe it refreshes
+// the answer probabilities from the sources seen so far (accuracy-weighted,
+// dependence-discounted voting) and records a step, so callers can plot
+// answer quality against the number of sources probed (EX8). Ordering
+// policies: dependence-aware greedy gain (the paper's proposal),
+// accuracy×coverage (dependence-blind), and the source-id order baseline.
+package queryans
+
+import (
+	"errors"
+	"sort"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/model"
+	"sourcecurrents/internal/truth"
+)
+
+// Policy selects the probing order.
+type Policy int
+
+const (
+	// GreedyGain probes the source with the highest expected marginal
+	// gain: accuracy × uncovered-coverage × independence from the sources
+	// already probed.
+	GreedyGain Policy = iota
+	// AccuracyCoverage ignores dependence: accuracy × coverage.
+	AccuracyCoverage
+	// ByID probes in source-id order (the deterministic naive baseline).
+	ByID
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case GreedyGain:
+		return "greedy-gain"
+	case AccuracyCoverage:
+		return "accuracy-coverage"
+	case ByID:
+		return "by-id"
+	}
+	return "unknown"
+}
+
+// Config parameterizes the planner.
+type Config struct {
+	Policy Policy
+	// Accuracy supplies per-source accuracies (e.g. from a depen run).
+	// Sources missing from the map default to DefaultAccuracy.
+	Accuracy        map[model.SourceID]float64
+	DefaultAccuracy float64
+	// Dependence returns the dependence probability of a pair (symmetric);
+	// nil means all-independent.
+	Dependence func(a, b model.SourceID) float64
+	// CopyRate is the c used in vote discounting.
+	CopyRate float64
+	// N is the false-value space for vote weights.
+	N int
+	// MaxSources caps the probes (0 = all sources).
+	MaxSources int
+	// StopProb stops early once every query object's top value reaches
+	// this posterior (0 disables early stopping).
+	StopProb float64
+}
+
+// DefaultConfig returns the planner defaults.
+func DefaultConfig() Config {
+	return Config{
+		Policy:          GreedyGain,
+		DefaultAccuracy: 0.7,
+		CopyRate:        0.8,
+		N:               100,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.DefaultAccuracy <= 0 || c.DefaultAccuracy >= 1 {
+		return errors.New("queryans: DefaultAccuracy must be in (0,1)")
+	}
+	if c.CopyRate <= 0 || c.CopyRate >= 1 {
+		return errors.New("queryans: CopyRate must be in (0,1)")
+	}
+	if c.N < 1 {
+		return errors.New("queryans: N must be >= 1")
+	}
+	if c.MaxSources < 0 {
+		return errors.New("queryans: MaxSources must be >= 0")
+	}
+	if c.StopProb < 0 || c.StopProb >= 1 {
+		return errors.New("queryans: StopProb must be in [0,1)")
+	}
+	return nil
+}
+
+// Answer is the current belief about one query object.
+type Answer struct {
+	Object model.ObjectID
+	Value  string
+	Prob   float64
+}
+
+// Step records the state after one probe.
+type Step struct {
+	Source  model.SourceID
+	Gain    float64 // the planner's expected gain when it chose this source
+	Answers []Answer
+}
+
+// Result is the full probing trace.
+type Result struct {
+	Steps []Step
+	// Final holds the answers after the last probe.
+	Final []Answer
+	// Probed lists the sources in probe order.
+	Probed []model.SourceID
+}
+
+// AnswerObjects probes sources to answer "what is the value of each query
+// object", returning the step-by-step trace.
+func AnswerObjects(d *dataset.Dataset, query []model.ObjectID, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Frozen() {
+		return nil, errors.New("queryans: dataset must be frozen")
+	}
+	if len(query) == 0 {
+		return nil, errors.New("queryans: empty query")
+	}
+	acc := func(s model.SourceID) float64 {
+		if a, ok := cfg.Accuracy[s]; ok {
+			return a
+		}
+		return cfg.DefaultAccuracy
+	}
+	dep := cfg.Dependence
+	if dep == nil {
+		dep = func(a, b model.SourceID) float64 { return 0 }
+	}
+
+	// Candidate sources: those covering at least one query object.
+	var candidates []model.SourceID
+	coverage := map[model.SourceID][]model.ObjectID{}
+	for _, s := range d.Sources() {
+		var covered []model.ObjectID
+		for _, o := range query {
+			if _, ok := d.Value(s, o); ok {
+				covered = append(covered, o)
+			}
+		}
+		if len(covered) > 0 {
+			candidates = append(candidates, s)
+			coverage[s] = covered
+		}
+	}
+	max := len(candidates)
+	if cfg.MaxSources > 0 && cfg.MaxSources < max {
+		max = cfg.MaxSources
+	}
+
+	res := &Result{}
+	probed := []model.SourceID{}
+	probedSet := map[model.SourceID]bool{}
+	// objCovered[o] accumulates the probability that o is already covered
+	// by an independent probed source; used by the gain heuristic.
+	objCovered := map[model.ObjectID]float64{}
+
+	for len(probed) < max {
+		next, gain := pickNext(candidates, probedSet, probed, coverage, objCovered, acc, dep, cfg)
+		if next == "" {
+			break
+		}
+		probed = append(probed, next)
+		probedSet[next] = true
+		for _, o := range coverage[next] {
+			indep := 1.0
+			for _, p := range probed[:len(probed)-1] {
+				indep *= 1 - dep(next, p)
+			}
+			objCovered[o] = 1 - (1-objCovered[o])*(1-acc(next)*indep)
+		}
+		answers := computeAnswers(d, query, probed, acc, dep, cfg)
+		res.Steps = append(res.Steps, Step{Source: next, Gain: gain, Answers: answers})
+		if cfg.StopProb > 0 && stable(answers, query, cfg.StopProb) {
+			break
+		}
+	}
+	if len(res.Steps) > 0 {
+		res.Final = res.Steps[len(res.Steps)-1].Answers
+	}
+	res.Probed = probed
+	return res, nil
+}
+
+// pickNext chooses the next source under the configured policy.
+func pickNext(candidates []model.SourceID, probedSet map[model.SourceID]bool,
+	probed []model.SourceID, coverage map[model.SourceID][]model.ObjectID,
+	objCovered map[model.ObjectID]float64,
+	acc func(model.SourceID) float64, dep func(a, b model.SourceID) float64,
+	cfg Config) (model.SourceID, float64) {
+	best := model.SourceID("")
+	bestGain := -1.0
+	for _, s := range candidates {
+		if probedSet[s] {
+			continue
+		}
+		var gain float64
+		switch cfg.Policy {
+		case ByID:
+			// First unprobed source in id order; candidates are sorted.
+			return s, 0
+		case AccuracyCoverage:
+			gain = acc(s) * float64(len(coverage[s]))
+		case GreedyGain:
+			indep := 1.0
+			for _, p := range probed {
+				indep *= 1 - dep(s, p)
+			}
+			var uncovered float64
+			for _, o := range coverage[s] {
+				uncovered += 1 - objCovered[o]
+			}
+			gain = acc(s) * indep * uncovered
+		}
+		if gain > bestGain {
+			best, bestGain = s, gain
+		}
+	}
+	if best == "" {
+		return "", 0
+	}
+	return best, bestGain
+}
+
+// computeAnswers runs dependence-discounted accuracy-weighted voting over
+// the probed sources only.
+func computeAnswers(d *dataset.Dataset, query []model.ObjectID, probed []model.SourceID,
+	acc func(model.SourceID) float64, dep func(a, b model.SourceID) float64,
+	cfg Config) []Answer {
+	accMap := map[model.SourceID]float64{}
+	for _, s := range probed {
+		accMap[s] = acc(s)
+	}
+	var out []Answer
+	for _, o := range query {
+		// Group probed sources by value.
+		byValue := map[string][]model.SourceID{}
+		for _, s := range probed {
+			if v, ok := d.Value(s, o); ok {
+				byValue[v] = append(byValue[v], s)
+			}
+		}
+		if len(byValue) == 0 {
+			out = append(out, Answer{Object: o})
+			continue
+		}
+		vals := make([]string, 0, len(byValue))
+		for v := range byValue {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		scores := map[string]float64{}
+		for _, v := range vals {
+			srcs := byValue[v]
+			// Rank by accuracy; later same-value sources are discounted by
+			// their dependence on earlier ones.
+			sort.Slice(srcs, func(i, j int) bool {
+				ai, aj := accMap[srcs[i]], accMap[srcs[j]]
+				if ai != aj {
+					return ai > aj
+				}
+				return srcs[i] < srcs[j]
+			})
+			var score float64
+			for i, s := range srcs {
+				f := 1.0
+				for j := 0; j < i; j++ {
+					f *= 1 - cfg.CopyRate*dep(s, srcs[j])
+				}
+				score += truth.WeightOf(accMap[s], cfg.N) * f
+			}
+			scores[v] = score
+		}
+		probs := truth.SoftmaxScores(scores)
+		bestV, bestP := "", -1.0
+		for _, v := range vals {
+			if probs[v] > bestP {
+				bestV, bestP = v, probs[v]
+			}
+		}
+		out = append(out, Answer{Object: o, Value: bestV, Prob: bestP})
+	}
+	return out
+}
+
+func stable(answers []Answer, query []model.ObjectID, stopProb float64) bool {
+	if len(answers) < len(query) {
+		return false
+	}
+	for _, a := range answers {
+		if a.Value == "" || a.Prob < stopProb {
+			return false
+		}
+	}
+	return true
+}
+
+// QualityCurve scores each step's answers against a ground-truth world,
+// returning the fraction of query objects answered correctly after each
+// probe — the series EX8 plots.
+func QualityCurve(res *Result, w *model.World) []float64 {
+	out := make([]float64, len(res.Steps))
+	for i, st := range res.Steps {
+		var right, total int
+		for _, a := range st.Answers {
+			want, ok := w.TrueNow(a.Object)
+			if !ok {
+				continue
+			}
+			total++
+			if a.Value == want {
+				right++
+			}
+		}
+		if total > 0 {
+			out[i] = float64(right) / float64(total)
+		}
+	}
+	return out
+}

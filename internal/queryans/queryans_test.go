@@ -1,0 +1,286 @@
+package queryans
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/model"
+)
+
+func TestPolicyString(t *testing.T) {
+	if GreedyGain.String() != "greedy-gain" || AccuracyCoverage.String() != "accuracy-coverage" || ByID.String() != "by-id" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() != "unknown" {
+		t.Fatal("unknown policy should render unknown")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.DefaultAccuracy = 0 },
+		func(c *Config) { c.CopyRate = 1 },
+		func(c *Config) { c.N = 0 },
+		func(c *Config) { c.MaxSources = -1 },
+		func(c *Config) { c.StopProb = 1 },
+	} {
+		c := DefaultConfig()
+		mut(&c)
+		if c.Validate() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}
+}
+
+func TestAnswerErrors(t *testing.T) {
+	d := dataset.New()
+	_ = d.Add(model.NewClaim("S1", model.Obj("a", "x"), "1"))
+	if _, err := AnswerObjects(d, []model.ObjectID{model.Obj("a", "x")}, DefaultConfig()); err == nil {
+		t.Fatal("unfrozen dataset accepted")
+	}
+	d.Freeze()
+	if _, err := AnswerObjects(d, nil, DefaultConfig()); err == nil {
+		t.Fatal("empty query accepted")
+	}
+}
+
+func TestAnswerTable1WithOracle(t *testing.T) {
+	// With oracle accuracies and the copier clique known, the planner
+	// should answer all five researchers correctly and avoid wasting
+	// probes on S4/S5 (copies of S3).
+	d := dataset.Table1()
+	cfg := DefaultConfig()
+	cfg.Accuracy = map[model.SourceID]float64{
+		"S1": 0.95, "S2": 0.7, "S3": 0.5, "S4": 0.5, "S5": 0.45,
+	}
+	clique := map[model.SourcePair]float64{
+		model.NewSourcePair("S3", "S4"): 1,
+		model.NewSourcePair("S3", "S5"): 1,
+		model.NewSourcePair("S4", "S5"): 1,
+	}
+	cfg.Dependence = func(a, b model.SourceID) float64 {
+		return clique[model.NewSourcePair(a, b)]
+	}
+	query := d.Objects()
+	res, err := AnswerObjects(d, query, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probed) != 5 {
+		t.Fatalf("probed %d sources", len(res.Probed))
+	}
+	// S1 first (highest accuracy × coverage × independence).
+	if res.Probed[0] != "S1" {
+		t.Fatalf("first probe = %v", res.Probed[0])
+	}
+	// The copier clique members must come last: after S3 is probed, S4
+	// and S5 have near-zero gain.
+	last2 := map[model.SourceID]bool{res.Probed[3]: true, res.Probed[4]: true}
+	if !last2["S4"] || !last2["S5"] {
+		t.Fatalf("probe order = %v; S4,S5 should be last", res.Probed)
+	}
+	// Final answers match the truth.
+	w := dataset.Table1Truth()
+	for _, a := range res.Final {
+		want, _ := w.TrueNow(a.Object)
+		if a.Value != want {
+			t.Errorf("%v answered %q, want %q", a.Object, a.Value, want)
+		}
+	}
+	curve := QualityCurve(res, w)
+	if curve[len(curve)-1] != 1 {
+		t.Fatalf("final quality = %v", curve[len(curve)-1])
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	d := dataset.Table1()
+	cfg := DefaultConfig()
+	cfg.Accuracy = map[model.SourceID]float64{"S1": 0.95}
+	cfg.StopProb = 0.5
+	res, err := AnswerObjects(d, d.Objects(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probed) >= 5 {
+		t.Fatalf("early stopping did not trigger: probed %v", res.Probed)
+	}
+}
+
+func TestMaxSourcesCap(t *testing.T) {
+	d := dataset.Table1()
+	cfg := DefaultConfig()
+	cfg.MaxSources = 2
+	res, err := AnswerObjects(d, d.Objects(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probed) != 2 || len(res.Steps) != 2 {
+		t.Fatalf("cap ignored: %v", res.Probed)
+	}
+}
+
+func TestByIDPolicyOrder(t *testing.T) {
+	d := dataset.Table1()
+	cfg := DefaultConfig()
+	cfg.Policy = ByID
+	res, err := AnswerObjects(d, d.Objects(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.SourceID{"S1", "S2", "S3", "S4", "S5"}
+	for i, s := range want {
+		if res.Probed[i] != s {
+			t.Fatalf("ByID order = %v", res.Probed)
+		}
+	}
+}
+
+// buildQueryWorld makes a world where the dependence-aware order provably
+// beats the accuracy-only order: the most accurate sources after the leader
+// are all copies of the leader, while a slightly less accurate independent
+// source holds the key complementary coverage.
+func buildQueryWorld(seed int64) (*dataset.Dataset, *model.World, Config) {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New()
+	w := model.NewWorld()
+	nObj := 60
+	objs := make([]model.ObjectID, nObj)
+	for i := range objs {
+		objs[i] = model.Obj(fmt.Sprintf("o%02d", i), "v")
+		w.SetSnapshot(objs[i], fmt.Sprintf("T%d", i))
+	}
+	add := func(s model.SourceID, lo, hi int, acc float64) {
+		for i := lo; i < hi; i++ {
+			v := fmt.Sprintf("T%d", i)
+			if rng.Float64() > acc {
+				v = fmt.Sprintf("F%d_%s", i, s)
+			}
+			_ = d.Add(model.NewClaim(s, objs[i], v))
+		}
+	}
+	// Leader covers the first half very accurately.
+	add("LEAD", 0, 30, 0.95)
+	// Copies of the leader (same coverage; values copied exactly).
+	for i := 0; i < 30; i++ {
+		if v, ok := dValue(d, "LEAD", objs[i]); ok {
+			_ = d.Add(model.NewClaim("COPY1", objs[i], v))
+			_ = d.Add(model.NewClaim("COPY2", objs[i], v))
+		}
+	}
+	// Independent source covering the second half, slightly less accurate.
+	add("IND", 30, 60, 0.85)
+	d.Freeze()
+
+	cfg := DefaultConfig()
+	cfg.Accuracy = map[model.SourceID]float64{
+		"LEAD": 0.95, "COPY1": 0.94, "COPY2": 0.93, "IND": 0.85,
+	}
+	dep := map[model.SourcePair]float64{
+		model.NewSourcePair("LEAD", "COPY1"):  1,
+		model.NewSourcePair("LEAD", "COPY2"):  1,
+		model.NewSourcePair("COPY1", "COPY2"): 1,
+	}
+	cfg.Dependence = func(a, b model.SourceID) float64 {
+		return dep[model.NewSourcePair(a, b)]
+	}
+	return d, w, cfg
+}
+
+// dValue reads a value from an unfrozen dataset by scanning claims (test
+// helper; Value requires Freeze).
+func dValue(d *dataset.Dataset, s model.SourceID, o model.ObjectID) (string, bool) {
+	for _, c := range d.Claims() {
+		if c.Source == s && c.Object == o {
+			return c.Value, true
+		}
+	}
+	return "", false
+}
+
+func TestGreedyGainBeatsAccuracyOrderEarly(t *testing.T) {
+	d, w, cfg := buildQueryWorld(13)
+	query := d.Objects()
+
+	cfg.Policy = GreedyGain
+	greedy, err := AnswerObjects(d, query, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Policy = AccuracyCoverage
+	accOnly, err := AnswerObjects(d, query, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := QualityCurve(greedy, w)
+	ac := QualityCurve(accOnly, w)
+	// After two probes, the dependence-aware order has probed LEAD + IND
+	// (full coverage) while accuracy-only probed LEAD + COPY1 (half).
+	if gc[1] <= ac[1] {
+		t.Fatalf("after 2 probes: greedy %.2f should beat accuracy-only %.2f (greedy=%v accOnly=%v)",
+			gc[1], ac[1], greedy.Probed, accOnly.Probed)
+	}
+	if greedy.Probed[1] != "IND" {
+		t.Fatalf("greedy second probe = %v, want IND", greedy.Probed[1])
+	}
+	if accOnly.Probed[1] == "IND" {
+		t.Fatalf("accuracy-only should waste its second probe on a copy: %v", accOnly.Probed)
+	}
+}
+
+func TestAnswersDiscountCopierVotes(t *testing.T) {
+	// Three copies asserting a wrong value must not outvote one accurate
+	// independent source when the dependence is known.
+	d := dataset.New()
+	o := model.Obj("x", "v")
+	_ = d.Add(model.NewClaim("GOOD", o, "right"))
+	_ = d.Add(model.NewClaim("C1", o, "wrong"))
+	_ = d.Add(model.NewClaim("C2", o, "wrong"))
+	_ = d.Add(model.NewClaim("C3", o, "wrong"))
+	d.Freeze()
+	cfg := DefaultConfig()
+	cfg.Accuracy = map[model.SourceID]float64{"GOOD": 0.9, "C1": 0.6, "C2": 0.6, "C3": 0.6}
+	cfg.Dependence = func(a, b model.SourceID) float64 {
+		if a != "GOOD" && b != "GOOD" {
+			return 1
+		}
+		return 0
+	}
+	res, err := AnswerObjects(d, []model.ObjectID{o}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final[0].Value != "right" {
+		t.Fatalf("copier clique outvoted the good source: %+v", res.Final[0])
+	}
+	// Blind to dependence, the clique wins — pin the contrast.
+	cfg.Dependence = nil
+	res2, _ := AnswerObjects(d, []model.ObjectID{o}, cfg)
+	if res2.Final[0].Value != "wrong" {
+		t.Fatalf("without dependence knowledge expected the clique to win: %+v", res2.Final[0])
+	}
+}
+
+func TestUncoveredObjectAnswer(t *testing.T) {
+	d := dataset.New()
+	_ = d.Add(model.NewClaim("S1", model.Obj("a", "v"), "1"))
+	d.Freeze()
+	res, err := AnswerObjects(d, []model.ObjectID{model.Obj("a", "v"), model.Obj("b", "v")}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range res.Final {
+		if a.Object == model.Obj("b", "v") && a.Value == "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("uncovered object should have empty answer: %+v", res.Final)
+	}
+}

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// PermutationResult reports the outcome of a permutation test.
+type PermutationResult struct {
+	Observed float64 // observed statistic
+	Mean     float64 // mean of the permutation distribution
+	SD       float64 // standard deviation of the permutation distribution
+	PLow     float64 // fraction of permutations with statistic <= observed
+	PHigh    float64 // fraction of permutations with statistic >= observed
+	Rounds   int     // number of permutations drawn
+}
+
+// PermutationTest draws rounds random permutations of ys, recomputing the
+// statistic stat(xs, shuffled ys) each time, and locates the observed
+// statistic within that null distribution. It is the model-free fallback the
+// dissimilarity detector uses when the analytic variance is suspect.
+func PermutationTest(xs, ys []float64, rounds int, rng *rand.Rand,
+	stat func(a, b []float64) float64) PermutationResult {
+	obs := stat(xs, ys)
+	shuffled := make([]float64, len(ys))
+	copy(shuffled, ys)
+	var sum, sumsq float64
+	var low, high int
+	for r := 0; r < rounds; r++ {
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		s := stat(xs, shuffled)
+		sum += s
+		sumsq += s * s
+		if s <= obs {
+			low++
+		}
+		if s >= obs {
+			high++
+		}
+	}
+	res := PermutationResult{Observed: obs, Rounds: rounds}
+	if rounds > 0 {
+		n := float64(rounds)
+		res.Mean = sum / n
+		v := sumsq/n - res.Mean*res.Mean
+		if v < 0 {
+			v = 0
+		}
+		res.SD = math.Sqrt(v)
+		// Add-one smoothing keeps p-values away from exactly zero.
+		res.PLow = (float64(low) + 1) / (n + 1)
+		res.PHigh = (float64(high) + 1) / (n + 1)
+	}
+	return res
+}

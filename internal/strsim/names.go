@@ -1,0 +1,200 @@
+package strsim
+
+import (
+	"sort"
+	"strings"
+)
+
+// Name is a parsed person name: zero or more given names plus a family name.
+type Name struct {
+	Given  []string // given names or initials, in order
+	Family string
+}
+
+// ParseName parses a person name in either "Given Family" or
+// "Family, Given" order. Periods after initials are dropped.
+func ParseName(s string) Name {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Name{}
+	}
+	if comma := strings.Index(s, ","); comma >= 0 {
+		family := strings.TrimSpace(s[:comma])
+		given := splitNameTokens(s[comma+1:])
+		return Name{Given: given, Family: family}
+	}
+	toks := splitNameTokens(s)
+	if len(toks) == 0 {
+		return Name{}
+	}
+	return Name{Given: toks[:len(toks)-1], Family: toks[len(toks)-1]}
+}
+
+func splitNameTokens(s string) []string {
+	raw := strings.Fields(s)
+	out := make([]string, 0, len(raw))
+	for _, t := range raw {
+		t = strings.Trim(t, ".")
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Key returns a normalized lowercase "family|initials" key: family name plus
+// the first letter of each given name. "Jeffrey D. Ullman", "J. Ullman" and
+// "Ullman, Jeffrey" all map to keys with family "ullman" and compatible
+// initial sets, which is what author-list blocking needs.
+func (n Name) Key() string {
+	var b strings.Builder
+	b.WriteString(strings.ToLower(n.Family))
+	b.WriteByte('|')
+	for _, g := range n.Given {
+		if g == "" {
+			continue
+		}
+		b.WriteByte(byte(strings.ToLower(g)[0]))
+	}
+	return b.String()
+}
+
+// NameSim scores how likely two parsed names denote the same person, in
+// [0, 1]. Family names are compared with Jaro-Winkler; given names match if
+// either is an initial of the other or they are string-similar.
+func NameSim(a, b Name) float64 {
+	fam := JaroWinkler(strings.ToLower(a.Family), strings.ToLower(b.Family))
+	if len(a.Given) == 0 || len(b.Given) == 0 {
+		return fam * 0.9 // family-only match is decent but not conclusive
+	}
+	pairs := len(a.Given)
+	if len(b.Given) < pairs {
+		pairs = len(b.Given)
+	}
+	var given float64
+	for i := 0; i < pairs; i++ {
+		given += givenSim(a.Given[i], b.Given[i])
+	}
+	given /= float64(pairs)
+	return 0.6*fam + 0.4*given
+}
+
+func givenSim(a, b string) float64 {
+	la, lb := strings.ToLower(a), strings.ToLower(b)
+	if la == lb {
+		return 1
+	}
+	// Initial matching: "j" vs "jeffrey".
+	if len(la) == 1 || len(lb) == 1 {
+		if la[:1] == lb[:1] {
+			return 0.85
+		}
+		return 0
+	}
+	return JaroWinkler(la, lb)
+}
+
+// AuthorList is an ordered list of parsed author names.
+type AuthorList []Name
+
+// ParseAuthorList parses a book author field. Authors may be separated by
+// ";", "&", " and ", or by commas when each element looks like a full name
+// (no comma-inverted forms mixed in).
+func ParseAuthorList(s string) AuthorList {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	seps := []string{";", "&", " and "}
+	parts := []string{s}
+	for _, sep := range seps {
+		var next []string
+		for _, p := range parts {
+			next = append(next, strings.Split(p, sep)...)
+		}
+		parts = next
+	}
+	if len(parts) == 1 && strings.Count(s, ",") >= 1 && !looksInverted(s) {
+		parts = strings.Split(s, ",")
+	}
+	var out AuthorList
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		out = append(out, ParseName(p))
+	}
+	return out
+}
+
+// looksInverted reports whether s is plausibly a single "Family, Given"
+// name: exactly one comma and at most two tokens after it.
+func looksInverted(s string) bool {
+	if strings.Count(s, ",") != 1 {
+		return false
+	}
+	after := strings.TrimSpace(s[strings.Index(s, ",")+1:])
+	return len(strings.Fields(after)) <= 2
+}
+
+// CanonicalKey returns an order-insensitive normalized key for the list:
+// sorted name keys joined by "/". Misordered author lists — a dirtiness the
+// paper calls out — collapse to the same key.
+func (al AuthorList) CanonicalKey() string {
+	keys := make([]string, len(al))
+	for i, n := range al {
+		keys[i] = n.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "/")
+}
+
+// String renders the list as "Given Family; Given Family; ...". The
+// semicolon separator keeps rendering unambiguous: a comma-separated form
+// with two-token names is indistinguishable from a single inverted name.
+func (al AuthorList) String() string {
+	parts := make([]string, len(al))
+	for i, n := range al {
+		if len(n.Given) > 0 {
+			parts[i] = strings.Join(n.Given, " ") + " " + n.Family
+		} else {
+			parts[i] = n.Family
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+// AuthorListSim scores two author lists in [0, 1]: optimal greedy matching
+// of names (order-insensitive) averaged over the longer list, so missing
+// authors are penalized but reordering is not.
+func AuthorListSim(a, b AuthorList) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	used := make([]bool, len(b))
+	var total float64
+	for _, na := range a {
+		best, bestJ := 0.0, -1
+		for j, nb := range b {
+			if used[j] {
+				continue
+			}
+			if s := NameSim(na, nb); s > best {
+				best, bestJ = s, j
+			}
+		}
+		if bestJ >= 0 {
+			used[bestJ] = true
+			total += best
+		}
+	}
+	longer := len(a)
+	if len(b) > longer {
+		longer = len(b)
+	}
+	return total / float64(longer)
+}

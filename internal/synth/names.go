@@ -1,0 +1,134 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Deterministic name and word pools for the generators. Everything derives
+// from small syllable inventories so corpora are reproducible from a seed
+// and contain no external data.
+
+var givenNames = []string{
+	"James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+	"Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
+	"Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Anish",
+	"Luna", "Amelie", "Divesh", "Laure", "Hector", "Jeffrey", "Jennifer",
+	"Joshua", "Alon", "Dan", "Magda", "Nilesh", "Xin", "Wei", "Chen",
+	"Yuki", "Ravi", "Priya", "Carlos", "Elena", "Olaf", "Ingrid", "Pierre",
+	"Marie", "Giovanni", "Lucia", "Pavel", "Olga", "Kwame", "Amara",
+}
+
+var familySyllables = []string{
+	"son", "berg", "stein", "man", "ton", "ley", "field", "worth", "wood",
+	"ham", "ford", "well", "more", "gard", "lund", "vist", "dahl", "strom",
+}
+
+var familyRoots = []string{
+	"Ander", "Peter", "Gold", "Silver", "Black", "White", "Green", "Hill",
+	"Stone", "River", "Lake", "North", "South", "East", "West", "Fair",
+	"Strong", "Wise", "Swift", "Bright", "Free", "Young", "Old", "New",
+	"Linde", "Berg", "Ek", "Ceder", "Bjork", "Alm", "Ask", "Rosen",
+}
+
+// familyName deterministically composes a family name from an index.
+func familyName(i int) string {
+	root := familyRoots[i%len(familyRoots)]
+	syl := familySyllables[(i/len(familyRoots))%len(familySyllables)]
+	return root + syl
+}
+
+// personName returns a deterministic full name for an index.
+func personName(i int) (given, family string) {
+	return givenNames[i%len(givenNames)], familyName(i / len(givenNames) % 500)
+}
+
+// Topics used by the bookstore generator; Q1 and Q4 of Example 4.1 filter
+// on these.
+var topics = []string{
+	"Java Programming", "Database Systems", "Operating Systems",
+	"Computer Networks", "Artificial Intelligence", "Compilers",
+	"Algorithms", "Software Engineering", "Computer Architecture",
+	"Information Retrieval",
+}
+
+var titleAdjectives = []string{
+	"Practical", "Advanced", "Effective", "Modern", "Essential",
+	"Fundamental", "Applied", "Professional", "Introductory", "Complete",
+}
+
+var titleNouns = []string{
+	"Guide", "Handbook", "Primer", "Reference", "Cookbook", "Companion",
+	"Foundations", "Principles", "Patterns", "Techniques",
+}
+
+var publishers = []string{
+	"Addison-Wesley", "O'Reilly", "Prentice Hall", "Morgan Kaufmann",
+	"MIT Press", "Springer", "Cambridge University Press", "Wiley",
+	"McGraw-Hill", "Manning",
+}
+
+// bookTitle composes a deterministic title for a topic and index.
+func bookTitle(topic string, i int) string {
+	adj := titleAdjectives[i%len(titleAdjectives)]
+	noun := titleNouns[(i/len(titleAdjectives))%len(titleNouns)]
+	if i%3 == 0 {
+		return fmt.Sprintf("%s %s: A %s", adj, topic, noun)
+	}
+	return fmt.Sprintf("The %s %s %s", adj, topic, noun)
+}
+
+// misspell corrupts a word deterministically given an rng: swaps two
+// adjacent letters, drops one, or doubles one.
+func misspell(rng *rand.Rand, w string) string {
+	r := []rune(w)
+	if len(r) < 3 {
+		return w + "x"
+	}
+	i := 1 + rng.Intn(len(r)-2)
+	switch rng.Intn(3) {
+	case 0: // transpose (fall through to drop when neighbors are equal)
+		if r[i] != r[i+1] {
+			r[i], r[i+1] = r[i+1], r[i]
+			return string(r)
+		}
+		return string(r[:i]) + string(r[i+1:])
+	case 1: // drop
+		return string(r[:i]) + string(r[i+1:])
+	default: // double
+		return string(r[:i+1]) + string(r[i:])
+	}
+}
+
+// styleRender renders an author list in one of the house styles bookstores
+// use; all styles are alternative representations of the same value.
+type style int
+
+const (
+	styleFull         style = iota // "Given Family; Given Family"
+	styleInitials                  // "G. Family; G. Family"
+	styleInverted                  // "Family, Given; ..."
+	styleAndSeparated              // "Given Family and Given Family"
+	numStyles
+)
+
+type author struct{ given, family string }
+
+func renderAuthors(authors []author, st style) string {
+	parts := make([]string, len(authors))
+	for i, a := range authors {
+		switch st {
+		case styleInitials:
+			parts[i] = a.given[:1] + ". " + a.family
+		case styleInverted:
+			parts[i] = a.family + ", " + a.given
+		default:
+			parts[i] = a.given + " " + a.family
+		}
+	}
+	if st == styleAndSeparated {
+		return strings.Join(parts, " and ")
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,377 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/model"
+)
+
+// This file holds the snapshot, temporal and rating world generators used
+// by the sweep experiments (EX5-EX9).
+
+// SnapshotConfig parameterizes a generic snapshot world: independent
+// sources with planted accuracies plus copiers attached to masters.
+type SnapshotConfig struct {
+	Seed     int64
+	NObjects int
+	// IndependentAcc lists the accuracies of the independent sources
+	// (one source per entry, ids I0, I1, ...).
+	IndependentAcc []float64
+	// Copiers describe planted copiers (ids C0, C1, ...).
+	Copiers []CopierSpec
+	// FalsePool is the number of distinct false values per object.
+	FalsePool int
+}
+
+// CopierSpec plants one copier.
+type CopierSpec struct {
+	// MasterIndex indexes IndependentAcc (the copied source).
+	MasterIndex int
+	// CopyRate is the per-object copy probability; OwnAcc the copier's
+	// accuracy when answering independently.
+	CopyRate, OwnAcc float64
+}
+
+// Validate reports configuration errors.
+func (c SnapshotConfig) Validate() error {
+	if c.NObjects < 1 {
+		return errors.New("synth: NObjects must be >= 1")
+	}
+	if len(c.IndependentAcc) < 1 {
+		return errors.New("synth: need at least one independent source")
+	}
+	for _, a := range c.IndependentAcc {
+		if a <= 0 || a >= 1 {
+			return errors.New("synth: accuracies must be in (0,1)")
+		}
+	}
+	for _, cp := range c.Copiers {
+		if cp.MasterIndex < 0 || cp.MasterIndex >= len(c.IndependentAcc) {
+			return errors.New("synth: copier master index out of range")
+		}
+		if cp.CopyRate <= 0 || cp.CopyRate >= 1 || cp.OwnAcc <= 0 || cp.OwnAcc >= 1 {
+			return errors.New("synth: copier rates must be in (0,1)")
+		}
+	}
+	if c.FalsePool < 1 {
+		return errors.New("synth: FalsePool must be >= 1")
+	}
+	return nil
+}
+
+// SnapshotWorld is a generated snapshot corpus with ground truth.
+type SnapshotWorld struct {
+	Dataset *dataset.Dataset
+	World   *model.World
+	// Independents and Copiers list the source ids.
+	Independents, Copiers []model.SourceID
+	// MasterOf maps copier id to master id.
+	MasterOf map[model.SourceID]model.SourceID
+}
+
+// GenerateSnapshot builds the world.
+func GenerateSnapshot(cfg SnapshotConfig) (*SnapshotWorld, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sw := &SnapshotWorld{
+		World:    model.NewWorld(),
+		MasterOf: map[model.SourceID]model.SourceID{},
+	}
+	d := dataset.New()
+	for i := range cfg.IndependentAcc {
+		sw.Independents = append(sw.Independents, model.SourceID(fmt.Sprintf("I%d", i)))
+	}
+	for i := range cfg.Copiers {
+		id := model.SourceID(fmt.Sprintf("C%d", i))
+		sw.Copiers = append(sw.Copiers, id)
+		sw.MasterOf[id] = sw.Independents[cfg.Copiers[i].MasterIndex]
+	}
+	for oi := 0; oi < cfg.NObjects; oi++ {
+		o := model.Obj(fmt.Sprintf("o%05d", oi), "v")
+		truthV := fmt.Sprintf("T%d", oi)
+		sw.World.SetSnapshot(o, truthV)
+		falseVal := func() string {
+			return fmt.Sprintf("F%d_%d", oi, rng.Intn(cfg.FalsePool))
+		}
+		masterVals := make([]string, len(cfg.IndependentAcc))
+		for i, acc := range cfg.IndependentAcc {
+			v := truthV
+			if rng.Float64() >= acc {
+				v = falseVal()
+			}
+			masterVals[i] = v
+			if err := d.Add(model.NewClaim(sw.Independents[i], o, v)); err != nil {
+				return nil, err
+			}
+		}
+		for i, cp := range cfg.Copiers {
+			var v string
+			if rng.Float64() < cp.CopyRate {
+				v = masterVals[cp.MasterIndex]
+			} else {
+				v = truthV
+				if rng.Float64() >= cp.OwnAcc {
+					v = falseVal()
+				}
+			}
+			if err := d.Add(model.NewClaim(sw.Copiers[i], o, v)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	d.Freeze()
+	sw.Dataset = d
+	return sw, nil
+}
+
+// TemporalConfig parameterizes an evolving world observed by independent
+// publishers with jittered delays plus lazy copiers that republish their
+// master's publications.
+type TemporalConfig struct {
+	Seed     int64
+	NObjects int
+	Horizon  model.Time
+	// ChangeRate is the per-tick probability an object's value changes.
+	ChangeRate float64
+	// Publishers lists independent publishers (ids P0, P1, ...).
+	Publishers []PublisherSpec
+	// LazyCopiers lists copiers (ids L0, L1, ...).
+	LazyCopiers []LazyCopierSpec
+	// SnapshotEvery > 0 quantizes all claim times to multiples of it — the
+	// "incomplete observations" challenge: we only see periodic snapshots.
+	SnapshotEvery model.Time
+}
+
+// PublisherSpec is an independent publisher: captures each transition with
+// probability CaptureProb at a delay uniform in [0, MaxDelay].
+type PublisherSpec struct {
+	CaptureProb float64
+	MaxDelay    model.Time
+}
+
+// LazyCopierSpec republishes the master publisher's updates.
+type LazyCopierSpec struct {
+	MasterIndex int
+	// CopyProb is the probability of republishing a given master update;
+	// the republication lag is uniform in [MinLag, MaxLag].
+	CopyProb       float64
+	MinLag, MaxLag model.Time
+}
+
+// Validate reports configuration errors.
+func (c TemporalConfig) Validate() error {
+	if c.NObjects < 1 || c.Horizon < 2 {
+		return errors.New("synth: temporal world too small")
+	}
+	if c.ChangeRate <= 0 || c.ChangeRate >= 1 {
+		return errors.New("synth: ChangeRate must be in (0,1)")
+	}
+	if len(c.Publishers) < 1 {
+		return errors.New("synth: need at least one publisher")
+	}
+	for _, p := range c.Publishers {
+		if p.CaptureProb <= 0 || p.CaptureProb > 1 || p.MaxDelay < 0 {
+			return errors.New("synth: publisher spec invalid")
+		}
+	}
+	for _, l := range c.LazyCopiers {
+		if l.MasterIndex < 0 || l.MasterIndex >= len(c.Publishers) {
+			return errors.New("synth: copier master index out of range")
+		}
+		if l.CopyProb <= 0 || l.CopyProb > 1 || l.MinLag < 1 || l.MaxLag < l.MinLag {
+			return errors.New("synth: copier spec invalid")
+		}
+	}
+	if c.SnapshotEvery < 0 {
+		return errors.New("synth: SnapshotEvery must be >= 0")
+	}
+	return nil
+}
+
+// TemporalWorld is a generated temporal corpus.
+type TemporalWorld struct {
+	Dataset     *dataset.Dataset
+	World       *model.World
+	Publishers  []model.SourceID
+	LazyCopiers []model.SourceID
+	MasterOf    map[model.SourceID]model.SourceID
+}
+
+// GenerateTemporal builds the world.
+func GenerateTemporal(cfg TemporalConfig) (*TemporalWorld, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tw := &TemporalWorld{
+		World:    model.NewWorld(),
+		MasterOf: map[model.SourceID]model.SourceID{},
+	}
+	for i := range cfg.Publishers {
+		tw.Publishers = append(tw.Publishers, model.SourceID(fmt.Sprintf("P%d", i)))
+	}
+	for i, l := range cfg.LazyCopiers {
+		id := model.SourceID(fmt.Sprintf("L%d", i))
+		tw.LazyCopiers = append(tw.LazyCopiers, id)
+		tw.MasterOf[id] = tw.Publishers[l.MasterIndex]
+	}
+	quantize := func(t model.Time) model.Time {
+		if cfg.SnapshotEvery <= 1 {
+			return t
+		}
+		return (t / cfg.SnapshotEvery) * cfg.SnapshotEvery
+	}
+	d := dataset.New()
+	for oi := 0; oi < cfg.NObjects; oi++ {
+		o := model.Obj(fmt.Sprintf("o%05d", oi), "v")
+		tr := model.Truth{Object: o}
+		version := 0
+		tr.Periods = append(tr.Periods, model.TruthPeriod{Start: 0, Value: fmt.Sprintf("v%d_0", oi)})
+		for t := model.Time(1); t < cfg.Horizon; t++ {
+			if rng.Float64() < cfg.ChangeRate {
+				version++
+				tr.Periods = append(tr.Periods, model.TruthPeriod{
+					Start: t, Value: fmt.Sprintf("v%d_%d", oi, version)})
+			}
+		}
+		tw.World.Set(tr)
+		// Publisher traces; remember each master's publication times so
+		// copiers can trail them.
+		published := make([]map[string]model.Time, len(cfg.Publishers))
+		for i, spec := range cfg.Publishers {
+			published[i] = map[string]model.Time{}
+			for _, p := range tr.Periods {
+				if rng.Float64() > spec.CaptureProb {
+					continue
+				}
+				t := p.Start + model.Time(rng.Int63n(int64(spec.MaxDelay)+1))
+				published[i][p.Value] = t
+				c := model.NewTemporalClaim(tw.Publishers[i], o, p.Value, quantize(t))
+				if err := d.Add(c); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for i, spec := range cfg.LazyCopiers {
+			for _, p := range tr.Periods {
+				t0, ok := published[spec.MasterIndex][p.Value]
+				if !ok || rng.Float64() > spec.CopyProb {
+					continue
+				}
+				lag := spec.MinLag + model.Time(rng.Int63n(int64(spec.MaxLag-spec.MinLag)+1))
+				c := model.NewTemporalClaim(tw.LazyCopiers[i], o, p.Value, quantize(t0+lag))
+				if err := d.Add(c); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	d.Freeze()
+	tw.Dataset = d
+	return tw, nil
+}
+
+// RatingConfig parameterizes an opinion world: items with latent quality,
+// honest raters, plus planted contrarians and copiers.
+type RatingConfig struct {
+	Seed    int64
+	NItems  int
+	NHonest int
+	// NoiseRate is the probability an honest rating deviates from the
+	// item's latent quality.
+	NoiseRate float64
+	// Contrarians and Copiers each target rater R0.
+	NContrarians, NCopiers int
+	// OppositionRate is the probability a contrarian opposes (vs rates
+	// honestly) — partial dissimilarity-dependence.
+	OppositionRate float64
+}
+
+// Validate reports configuration errors.
+func (c RatingConfig) Validate() error {
+	if c.NItems < 1 || c.NHonest < 1 {
+		return errors.New("synth: rating world too small")
+	}
+	if c.NoiseRate < 0 || c.NoiseRate >= 1 {
+		return errors.New("synth: NoiseRate must be in [0,1)")
+	}
+	if c.NContrarians < 0 || c.NCopiers < 0 {
+		return errors.New("synth: counts must be >= 0")
+	}
+	if c.OppositionRate <= 0 || c.OppositionRate > 1 {
+		return errors.New("synth: OppositionRate must be in (0,1]")
+	}
+	return nil
+}
+
+// RatingWorld is a generated opinion corpus. Honest raters are R0..Rn;
+// contrarians CONTRA<i> and copiers COPY<i> all target R0.
+type RatingWorld struct {
+	Dataset     *dataset.Dataset
+	Honest      []model.SourceID
+	Contrarians []model.SourceID
+	Copiers     []model.SourceID
+}
+
+// GenerateRatings builds the world on the Good/Neutral/Bad scale.
+func GenerateRatings(cfg RatingConfig) (*RatingWorld, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	labels := []string{"Bad", "Neutral", "Good"}
+	opposite := map[string]string{"Bad": "Good", "Neutral": "Neutral", "Good": "Bad"}
+	rw := &RatingWorld{}
+	for i := 0; i < cfg.NHonest; i++ {
+		rw.Honest = append(rw.Honest, model.SourceID(fmt.Sprintf("R%d", i)))
+	}
+	for i := 0; i < cfg.NContrarians; i++ {
+		rw.Contrarians = append(rw.Contrarians, model.SourceID(fmt.Sprintf("CONTRA%d", i)))
+	}
+	for i := 0; i < cfg.NCopiers; i++ {
+		rw.Copiers = append(rw.Copiers, model.SourceID(fmt.Sprintf("COPY%d", i)))
+	}
+	d := dataset.New()
+	for it := 0; it < cfg.NItems; it++ {
+		o := model.Obj(fmt.Sprintf("item%04d", it), dataset.RatingAttr)
+		quality := rng.Intn(3)
+		honestRating := func() string {
+			l := quality
+			if rng.Float64() < cfg.NoiseRate {
+				l = rng.Intn(3)
+			}
+			return labels[l]
+		}
+		r0 := honestRating()
+		if err := d.Add(model.NewClaim(rw.Honest[0], o, r0)); err != nil {
+			return nil, err
+		}
+		for _, h := range rw.Honest[1:] {
+			if err := d.Add(model.NewClaim(h, o, honestRating())); err != nil {
+				return nil, err
+			}
+		}
+		for _, c := range rw.Contrarians {
+			v := honestRating()
+			if rng.Float64() < cfg.OppositionRate {
+				v = opposite[r0]
+			}
+			if err := d.Add(model.NewClaim(c, o, v)); err != nil {
+				return nil, err
+			}
+		}
+		for _, c := range rw.Copiers {
+			if err := d.Add(model.NewClaim(c, o, r0)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	d.Freeze()
+	rw.Dataset = d
+	return rw, nil
+}

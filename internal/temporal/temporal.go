@@ -1,0 +1,684 @@
+// Package temporal implements dependence discovery over timestamped data —
+// the "Temporal Dependence" scenario of §3.2.
+//
+// With update traces available, three refinements over snapshot analysis
+// apply (the paper's three numbered intuitions):
+//
+//  1. Out-of-date true values are distinguishable from false values, so
+//     sharing them is weak evidence of dependence (ClassifyValue).
+//  2. Sources performing the same updates in a close time frame are likely
+//     dependent, especially when the same update trace is rarely observed
+//     from other sources (the rarity channel of DetectPairs).
+//  3. Systematic ordering — one source's updates consistently trailing the
+//     other's — identifies the copier and separates a lazy copier from a
+//     slow-but-independent provider (the order channel of DetectPairs).
+//
+// Source quality is summarized by the CEF triple: Coverage (which true
+// periods the source ever captured), Exactness (whether its claims were
+// true at claim time) and Freshness (how quickly it captured them).
+package temporal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/model"
+	"sourcecurrents/internal/stats"
+)
+
+// ValueClass classifies a claimed value against an object's history.
+type ValueClass int
+
+const (
+	// ClassCurrent: the value was true at claim time.
+	ClassCurrent ValueClass = iota
+	// ClassOutdated: the value was true earlier but not at claim time.
+	ClassOutdated
+	// ClassEarly: the value becomes true only after claim time (a scoop or
+	// a lucky guess).
+	ClassEarly
+	// ClassFalse: the value was never true.
+	ClassFalse
+)
+
+// String names the class.
+func (c ValueClass) String() string {
+	switch c {
+	case ClassCurrent:
+		return "current"
+	case ClassOutdated:
+		return "outdated"
+	case ClassEarly:
+		return "early"
+	case ClassFalse:
+		return "false"
+	}
+	return fmt.Sprintf("ValueClass(%d)", int(c))
+}
+
+// ClassifyValue labels value v claimed for object o at time t against the
+// world w. Unknown objects classify as ClassFalse.
+func ClassifyValue(w *model.World, o model.ObjectID, v string, t model.Time) ValueClass {
+	tr, ok := w.Truths[o]
+	if !ok {
+		return ClassFalse
+	}
+	if cur, ok := tr.ValueAt(t); ok && cur == v {
+		return ClassCurrent
+	}
+	// True at some earlier time?
+	for _, p := range tr.Periods {
+		if p.Start <= t && p.Value == v {
+			return ClassOutdated
+		}
+	}
+	if tr.EverTrue(v) {
+		return ClassEarly
+	}
+	return ClassFalse
+}
+
+// Metrics is the CEF quality triple of one source against a world.
+type Metrics struct {
+	Source model.SourceID
+	// Coverage is captured periods / total periods over the objects the
+	// source claims at least once.
+	Coverage float64
+	// Exactness is the fraction of the source's timestamped claims whose
+	// value was true at claim time.
+	Exactness float64
+	// MeanLag is the average delay (in time units) between a captured
+	// period's start and the source's earliest capturing claim.
+	MeanLag float64
+	// Captured and Periods are the coverage numerator and denominator;
+	// Claims the exactness denominator.
+	Captured, Periods, Claims int
+}
+
+// Freshness returns the fraction of captured periods captured within delta
+// of their start. It is computed from the lag histogram collected by
+// ComputeMetrics.
+func (m Metrics) Freshness(lags []model.Time, delta model.Time) float64 {
+	if len(lags) == 0 {
+		return 0
+	}
+	var n int
+	for _, l := range lags {
+		if l <= delta {
+			n++
+		}
+	}
+	return float64(n) / float64(len(lags))
+}
+
+// SourceReport bundles Metrics with the per-period capture lags (for
+// Freshness queries) and the classification census of the source's claims.
+type SourceReport struct {
+	Metrics Metrics
+	Lags    []model.Time       // one entry per captured period, sorted
+	Census  map[ValueClass]int // claim count per class
+	ByClass map[ValueClass][]model.Claim
+}
+
+// ComputeMetrics evaluates every source of d against world w.
+func ComputeMetrics(d *dataset.Dataset, w *model.World) map[model.SourceID]*SourceReport {
+	out := make(map[model.SourceID]*SourceReport, len(d.Sources()))
+	for _, s := range d.Sources() {
+		out[s] = computeOne(d, w, s)
+	}
+	return out
+}
+
+func computeOne(d *dataset.Dataset, w *model.World, s model.SourceID) *SourceReport {
+	rep := &SourceReport{
+		Census:  map[ValueClass]int{},
+		ByClass: map[ValueClass][]model.Claim{},
+	}
+	trace := d.UpdateTrace(s)
+	objs := map[model.ObjectID]bool{}
+	var exact int
+	for _, c := range trace {
+		objs[c.Object] = true
+		cl := ClassifyValue(w, c.Object, c.Value, c.Time)
+		rep.Census[cl]++
+		rep.ByClass[cl] = append(rep.ByClass[cl], c)
+		if cl == ClassCurrent {
+			exact++
+		}
+	}
+	// Coverage & lags: for each period of each claimed object, find the
+	// earliest claim of the period's value at/after the period start and
+	// before the period ends.
+	var captured, periods int
+	var lagSum float64
+	for o := range objs {
+		tr, ok := w.Truths[o]
+		if !ok {
+			continue
+		}
+		for i, p := range tr.Periods {
+			periods++
+			end := model.Time(math.MaxInt64)
+			if i+1 < len(tr.Periods) {
+				end = tr.Periods[i+1].Start
+			}
+			best := model.Time(-1)
+			for _, c := range trace {
+				if c.Object != o || c.Value != p.Value {
+					continue
+				}
+				if c.Time >= p.Start && c.Time < end {
+					if best < 0 || c.Time < best {
+						best = c.Time
+					}
+				}
+			}
+			if best >= 0 {
+				captured++
+				lag := best - p.Start
+				rep.Lags = append(rep.Lags, lag)
+				lagSum += float64(lag)
+			}
+		}
+	}
+	sort.Slice(rep.Lags, func(i, j int) bool { return rep.Lags[i] < rep.Lags[j] })
+	m := Metrics{Source: s, Captured: captured, Periods: periods, Claims: len(trace)}
+	if periods > 0 {
+		m.Coverage = float64(captured) / float64(periods)
+	}
+	if len(trace) > 0 {
+		m.Exactness = float64(exact) / float64(len(trace))
+	}
+	if captured > 0 {
+		m.MeanLag = lagSum / float64(captured)
+	}
+	rep.Metrics = m
+	return rep
+}
+
+// Config parameterizes temporal dependence detection.
+type Config struct {
+	// Window is the maximum lag (time units) at which two sources' same
+	// updates are considered "in a close enough time frame". Lazy copiers
+	// need a generous window.
+	Window model.Time
+	// CopyRate is c, the per-update copy probability of a copier.
+	CopyRate float64
+	// Alpha is the prior probability of dependence for a random pair.
+	Alpha float64
+	// OrderRho is the probability that the master's update precedes the
+	// copier's matched update (under dependence). 0.5 would disable the
+	// order channel.
+	OrderRho float64
+	// TieDep and TieInd are the probabilities of a same-timestamp match
+	// under dependence and independence. Independent sources cluster
+	// around the real-world transition (same granularity bucket), while a
+	// copier trails its master's publication, so TieDep < TieInd and ties
+	// are evidence of independence.
+	TieDep, TieInd float64
+	// MissCopyRate is the per-update probability that a copier replicates
+	// a given master update; deliberately small (copiers may be partial
+	// and lazy), it makes wholesale non-overlap mild evidence of
+	// independence without killing partial copiers.
+	MissCopyRate float64
+	// MinSharedUpdates is the minimum number of matched updates for a pair
+	// to be analyzed.
+	MinSharedUpdates int
+	// DepThreshold is the posterior above which a pair is reported.
+	DepThreshold float64
+}
+
+// DefaultConfig returns the parameters used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Window:           5,
+		CopyRate:         0.8,
+		Alpha:            0.2,
+		OrderRho:         0.9,
+		TieDep:           0.3,
+		TieInd:           0.7,
+		MissCopyRate:     0.3,
+		MinSharedUpdates: 2,
+		DepThreshold:     0.7,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Window < 0 {
+		return errors.New("temporal: Window must be >= 0")
+	}
+	if c.CopyRate <= 0 || c.CopyRate >= 1 {
+		return errors.New("temporal: CopyRate must be in (0,1)")
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return errors.New("temporal: Alpha must be in (0,1)")
+	}
+	if c.OrderRho < 0.5 || c.OrderRho >= 1 {
+		return errors.New("temporal: OrderRho must be in [0.5,1)")
+	}
+	if c.TieDep <= 0 || c.TieDep >= 1 || c.TieInd <= 0 || c.TieInd >= 1 {
+		return errors.New("temporal: TieDep and TieInd must be in (0,1)")
+	}
+	if c.MissCopyRate <= 0 || c.MissCopyRate >= 1 {
+		return errors.New("temporal: MissCopyRate must be in (0,1)")
+	}
+	if c.MinSharedUpdates < 1 {
+		return errors.New("temporal: MinSharedUpdates must be >= 1")
+	}
+	if c.DepThreshold < 0 || c.DepThreshold > 1 {
+		return errors.New("temporal: DepThreshold must be in [0,1]")
+	}
+	return nil
+}
+
+// Dependence is the temporal verdict on one pair.
+type Dependence struct {
+	Pair model.SourcePair
+	// Prob = ProbAB + ProbBA; ProbAB is the posterior that A copies B.
+	Prob, ProbAB, ProbBA float64
+	// Shared is the number of matched updates (same object, same value,
+	// within Window).
+	Shared int
+	// AFirst and BFirst are the rarity-weighted counts of matched updates
+	// where A's (resp. B's) claim is strictly earlier.
+	AFirst, BFirst float64
+	// Rarity is the summed rarity weight of matched updates (the "same
+	// rare update trace" evidence).
+	Rarity float64
+}
+
+// Copier returns the more likely copier and the posterior margin.
+func (dep Dependence) Copier() (model.SourceID, float64) {
+	if dep.ProbAB >= dep.ProbBA {
+		return dep.Pair.A, dep.ProbAB - dep.ProbBA
+	}
+	return dep.Pair.B, dep.ProbBA - dep.ProbAB
+}
+
+// update is one timestamped assertion in a trace.
+type update struct {
+	o model.ObjectID
+	v string
+	t model.Time
+}
+
+// Result is the outcome of temporal detection.
+type Result struct {
+	// Dependences holds pairs at/above DepThreshold, sorted by decreasing
+	// posterior; AllPairs every analyzed pair.
+	Dependences []Dependence
+	AllPairs    []Dependence
+}
+
+// DependenceProb returns the posterior that a and b are dependent; 0 for
+// unanalyzed pairs.
+func (r *Result) DependenceProb(a, b model.SourceID) float64 {
+	p := model.NewSourcePair(a, b)
+	for _, dep := range r.AllPairs {
+		if dep.Pair == p {
+			return dep.Prob
+		}
+	}
+	return 0
+}
+
+// DetectPairs runs Bayesian update-trace dependence detection on every
+// source pair of a frozen temporal dataset.
+func DetectPairs(d *dataset.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Frozen() {
+		return nil, fmt.Errorf("temporal: dataset must be frozen")
+	}
+	sources := d.Sources()
+	traces := make(map[model.SourceID][]update, len(sources))
+	// popularity[o][v] = number of sources that ever assert (o, v) with a
+	// timestamp; the rarity denominator.
+	popularity := map[model.ObjectID]map[string]int{}
+	for _, s := range sources {
+		seen := map[update]bool{}
+		for _, c := range d.UpdateTrace(s) {
+			u := update{o: c.Object, v: c.Value, t: c.Time}
+			traces[s] = append(traces[s], u)
+			key := update{o: c.Object, v: c.Value} // popularity ignores time
+			if !seen[key] {
+				seen[key] = true
+				inner, ok := popularity[c.Object]
+				if !ok {
+					inner = map[string]int{}
+					popularity[c.Object] = inner
+				}
+				inner[c.Value]++
+			}
+		}
+	}
+
+	// Global coverage per source: its share of the distinct (object,
+	// value) assertions seen anywhere.
+	union := map[valueKey]bool{}
+	distinct := map[model.SourceID]int{}
+	for s, trace := range traces {
+		for k := range spansOf(trace) {
+			union[k] = true
+			distinct[s]++
+		}
+	}
+	qCov := make(map[model.SourceID]float64, len(sources))
+	for _, s := range sources {
+		if len(union) > 0 {
+			qCov[s] = float64(distinct[s]) / float64(len(union))
+		}
+	}
+
+	res := &Result{}
+	for i := 0; i < len(sources); i++ {
+		for j := i + 1; j < len(sources); j++ {
+			dep, ok := scorePair(sources[i], sources[j], traces, popularity, len(sources), qCov, cfg)
+			if !ok {
+				continue
+			}
+			res.AllPairs = append(res.AllPairs, dep)
+		}
+	}
+	sort.Slice(res.AllPairs, func(a, b int) bool {
+		if res.AllPairs[a].Prob != res.AllPairs[b].Prob {
+			return res.AllPairs[a].Prob > res.AllPairs[b].Prob
+		}
+		return res.AllPairs[a].Pair.String() < res.AllPairs[b].Pair.String()
+	})
+	for _, dep := range res.AllPairs {
+		if dep.Prob >= cfg.DepThreshold {
+			res.Dependences = append(res.Dependences, dep)
+		}
+	}
+	return res, nil
+}
+
+// valueKey identifies one distinct (object, value) assertion of a trace.
+type valueKey struct {
+	o model.ObjectID
+	v string
+}
+
+// span records when a trace first and last asserted a value.
+type span struct{ first, last model.Time }
+
+// spansOf collapses a trace into per-(object, value) assertion spans.
+func spansOf(trace []update) map[valueKey]span {
+	out := map[valueKey]span{}
+	for _, u := range trace {
+		k := valueKey{o: u.o, v: u.v}
+		sp, ok := out[k]
+		if !ok {
+			out[k] = span{first: u.t, last: u.t}
+			continue
+		}
+		if u.t < sp.first {
+			sp.first = u.t
+		}
+		if u.t > sp.last {
+			sp.last = u.t
+		}
+		out[k] = sp
+	}
+	return out
+}
+
+// match describes one shared (object, value) between two traces.
+type match struct {
+	rarity float64
+	// lag is B's last assertion minus A's nearest assertion: a lazy
+	// copier keeps re-asserting stale values after the master published
+	// them, so positive lag means "B trails A".
+	lag model.Time
+}
+
+// matchUpdates pairs each of B's distinct (object, value) assertions with
+// A's same-value assertions, keeping matches within the window.
+func matchUpdates(ta, tb []update, popularity map[model.ObjectID]map[string]int,
+	nSources int, window model.Time) (matches []match, missesOfA int) {
+	spansA := spansOf(ta)
+	spansB := spansOf(tb)
+	keys := make([]valueKey, 0, len(spansB))
+	for k := range spansB {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].o != keys[j].o {
+			if keys[i].o.Entity != keys[j].o.Entity {
+				return keys[i].o.Entity < keys[j].o.Entity
+			}
+			return keys[i].o.Attribute < keys[j].o.Attribute
+		}
+		return keys[i].v < keys[j].v
+	})
+	matchedA := map[valueKey]bool{}
+	for _, key := range keys {
+		sa, ok := spansA[key]
+		if !ok {
+			continue
+		}
+		sb := spansB[key]
+		// Lag of B's last word on the value against A's nearest
+		// assertion.
+		lag := sb.last - sa.first
+		if alt := sb.last - sa.last; abs64(alt) < abs64(lag) {
+			lag = alt
+		}
+		if abs64(lag) > window {
+			continue
+		}
+		matchedA[key] = true
+		others := popularity[key.o][key.v] - 2 // exclude the pair itself
+		if others < 0 {
+			others = 0
+		}
+		// Rarity weight in (0, 1]: updates nobody else makes weigh 1;
+		// updates everyone makes weigh ~2/n.
+		denom := nSources - 1
+		if denom < 1 {
+			denom = 1
+		}
+		rarity := 1 - float64(others)/float64(denom)
+		matches = append(matches, match{rarity: rarity, lag: lag})
+	}
+	for k := range spansA {
+		if !matchedA[k] {
+			missesOfA++
+		}
+	}
+	return matches, missesOfA
+}
+
+func abs64(t model.Time) model.Time {
+	if t < 0 {
+		return -t
+	}
+	return t
+}
+
+// scorePair computes the three-hypothesis posterior for one pair. The
+// log-likelihood of each copy direction combines three channels:
+//
+//   - rarity: sharing an update is more surprising the fewer other sources
+//     make it and the lower the alleged copier's own coverage (intuition 2
+//     of the temporal section);
+//   - order: under "B copies A", A's publication precedes B's trailing
+//     assertion with probability OrderRho, while same-timestamp matches
+//     favor independence (independents cluster on the real-world event;
+//     copiers trail the master's publication);
+//   - coverage: under "B copies A", B holds each of A's distinct updates
+//     with probability MissCopyRate + (1-MissCopyRate)·q_B, versus q_B (its
+//     global coverage) under independence. A source holding almost exactly
+//     the master's update set despite modest global coverage is suspicious;
+//     a high-coverage source overlapping everyone is not.
+func scorePair(a, b model.SourceID, traces map[model.SourceID][]update,
+	popularity map[model.ObjectID]map[string]int, nSources int,
+	qCov map[model.SourceID]float64, cfg Config) (Dependence, bool) {
+	matchesAB, missOfA := matchUpdates(traces[a], traces[b], popularity, nSources, cfg.Window)
+	_, missOfB := matchUpdates(traces[b], traces[a], popularity, nSources, cfg.Window)
+	if len(matchesAB) < cfg.MinSharedUpdates {
+		return Dependence{}, false
+	}
+	dep := Dependence{Pair: model.NewSourcePair(a, b), Shared: len(matchesAB)}
+	// Orientation bookkeeping: matchUpdates(ta, tb) produced lags where
+	// positive means "b trails a". Flip if pair normalization swapped.
+	flip := dep.Pair.A != a
+	if flip {
+		missOfA, missOfB = missOfB, missOfA
+	}
+	qA := stats.ClampProb(qCov[dep.Pair.A])
+	qB := stats.ClampProb(qCov[dep.Pair.B])
+
+	// Rarity channel, directional: the alleged copier's probability of
+	// making a matched update independently is at least its global
+	// coverage and at least the update's popularity among other sources.
+	var rarityAB, rarityBA float64
+	var aFirst, bFirst, ties float64
+	for _, m := range matchesAB {
+		qPop := stats.ClampProb(1 - m.rarity + 1.0/float64(nSources))
+		qForA := math.Max(qPop, qA)
+		qForB := math.Max(qPop, qB)
+		rarityAB += math.Log((cfg.CopyRate + (1-cfg.CopyRate)*qForA) / qForA)
+		rarityBA += math.Log((cfg.CopyRate + (1-cfg.CopyRate)*qForB) / qForB)
+		lag := m.lag
+		if flip {
+			lag = -lag
+		}
+		dep.Rarity += m.rarity
+		switch {
+		case lag > 0: // pair.A published first; pair.B trails
+			aFirst += m.rarity
+		case lag < 0:
+			bFirst += m.rarity
+		default:
+			ties += m.rarity
+		}
+	}
+	dep.AFirst, dep.BFirst = aFirst, bFirst
+
+	// Order channel. tiePen < 0: ties favor independence.
+	rho := cfg.OrderRho
+	tiePen := math.Log(cfg.TieDep / cfg.TieInd)
+	orderBA := aFirst*math.Log(rho/0.5) + bFirst*math.Log((1-rho)/0.5) + ties*tiePen
+	orderAB := bFirst*math.Log(rho/0.5) + aFirst*math.Log((1-rho)/0.5) + ties*tiePen
+
+	// Coverage channel: binomial over the master's distinct updates.
+	m := float64(len(matchesAB))
+	cover := func(qCopier float64, missesOfMaster int) float64 {
+		pd := stats.ClampProb(cfg.MissCopyRate + (1-cfg.MissCopyRate)*qCopier)
+		k := float64(missesOfMaster)
+		return m*math.Log(pd/qCopier) + k*math.Log((1-pd)/(1-qCopier))
+	}
+	coverBA := cover(qB, missOfA) // B copies A: A's updates are the trials
+	coverAB := cover(qA, missOfB)
+
+	logPost := []float64{
+		math.Log(1 - cfg.Alpha),                              // independent
+		math.Log(cfg.Alpha/2) + rarityAB + orderAB + coverAB, // A copies B
+		math.Log(cfg.Alpha/2) + rarityBA + orderBA + coverBA, // B copies A
+	}
+	post, err := stats.NormalizeLog(logPost)
+	if err != nil {
+		return Dependence{}, false
+	}
+	dep.ProbAB, dep.ProbBA = post[1], post[2]
+	dep.Prob = post[1] + post[2]
+	return dep, true
+}
+
+// EstimateWorld reconstructs a temporal ground-truth estimate from the
+// dataset alone: for each object and each claim time, sources vote with
+// their current (latest at-or-before) values, weighted by an exactness
+// estimate obtained from one bootstrap round of unweighted voting. The
+// result feeds ComputeMetrics when no ground truth is available.
+func EstimateWorld(d *dataset.Dataset, rounds int) *model.World {
+	if rounds < 1 {
+		rounds = 1
+	}
+	weights := map[model.SourceID]float64{}
+	for _, s := range d.Sources() {
+		weights[s] = 1
+	}
+	var est *model.World
+	for r := 0; r < rounds; r++ {
+		est = estimateOnce(d, weights)
+		reports := ComputeMetrics(d, est)
+		for s, rep := range reports {
+			// Exactness-weighted voting in the next round, floored so no
+			// source is silenced entirely.
+			weights[s] = 0.1 + rep.Metrics.Exactness
+		}
+	}
+	return est
+}
+
+func estimateOnce(d *dataset.Dataset, weights map[model.SourceID]float64) *model.World {
+	w := model.NewWorld()
+	for _, o := range d.Objects() {
+		// All claim times for o, ascending.
+		timeSet := map[model.Time]bool{}
+		for _, c := range d.ClaimsByObject(o) {
+			if c.HasTime {
+				timeSet[c.Time] = true
+			}
+		}
+		if len(timeSet) == 0 {
+			continue
+		}
+		times := make([]model.Time, 0, len(timeSet))
+		for t := range timeSet {
+			times = append(times, t)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		tr := model.Truth{Object: o}
+		for _, t := range times {
+			votes := map[string]float64{}
+			for _, s := range d.Sources() {
+				v, ok := currentValueAt(d, s, o, t)
+				if !ok {
+					continue
+				}
+				votes[v] += weights[s]
+			}
+			best, bestW := "", -1.0
+			vals := make([]string, 0, len(votes))
+			for v := range votes {
+				vals = append(vals, v)
+			}
+			sort.Strings(vals)
+			for _, v := range vals {
+				if votes[v] > bestW {
+					best, bestW = v, votes[v]
+				}
+			}
+			if best != "" {
+				tr.Periods = append(tr.Periods, model.TruthPeriod{Start: t, Value: best})
+			}
+		}
+		tr.Normalize()
+		w.Set(tr)
+	}
+	return w
+}
+
+// currentValueAt returns s's latest value for o at or before t.
+func currentValueAt(d *dataset.Dataset, s model.SourceID, o model.ObjectID, t model.Time) (string, bool) {
+	var best model.Claim
+	found := false
+	for _, c := range d.UpdateTrace(s) {
+		if c.Object != o || c.Time > t {
+			continue
+		}
+		if !found || c.Time >= best.Time {
+			best = c
+			found = true
+		}
+	}
+	return best.Value, found
+}

@@ -1,0 +1,104 @@
+package temporal
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/model"
+)
+
+func TestWindowedConfigValidate(t *testing.T) {
+	if err := DefaultWindowedConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func(*WindowedConfig){
+		func(c *WindowedConfig) { c.WindowSpan = 0 },
+		func(c *WindowedConfig) { c.Step = 0 },
+		func(c *WindowedConfig) { c.Pair.CopyRate = 0 },
+	} {
+		c := DefaultWindowedConfig()
+		mut(&c)
+		if c.Validate() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}
+}
+
+func TestDetectOverWindowsErrors(t *testing.T) {
+	d := dataset.New()
+	_ = d.Add(model.NewTemporalClaim("S1", model.Obj("x", "v"), "1", 1))
+	if _, err := DetectOverWindows(d, DefaultWindowedConfig()); err == nil {
+		t.Fatal("unfrozen dataset accepted")
+	}
+	snap := dataset.New()
+	_ = snap.Add(model.NewClaim("S1", model.Obj("x", "v"), "1"))
+	snap.Freeze()
+	if _, err := DetectOverWindows(snap, DefaultWindowedConfig()); err == nil {
+		t.Fatal("snapshot-only dataset accepted")
+	}
+}
+
+// persistentCopierWorld builds a long trace where C copies P0 throughout,
+// while an independent P1 just co-publishes.
+func persistentCopierWorld(seed int64, horizon int) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New()
+	for obj := 0; obj < 30; obj++ {
+		o := model.Obj(fmt.Sprintf("o%02d", obj), "v")
+		v := 0
+		for t := 0; t < horizon; t += 2 + rng.Intn(5) {
+			v++
+			val := fmt.Sprintf("v%d_%d", obj, v)
+			t0 := model.Time(t) + model.Time(rng.Intn(2))
+			_ = d.Add(model.NewTemporalClaim("P0", o, val, t0))
+			if rng.Float64() < 0.9 {
+				_ = d.Add(model.NewTemporalClaim("P1", o, val, model.Time(t)+model.Time(rng.Intn(3))))
+			}
+			if rng.Float64() < 0.9 {
+				_ = d.Add(model.NewTemporalClaim("C", o, val, t0+1+model.Time(rng.Intn(2))))
+			}
+		}
+	}
+	d.Freeze()
+	return d
+}
+
+func TestDetectOverWindowsPersistence(t *testing.T) {
+	d := persistentCopierWorld(3, 60)
+	cfg := DefaultWindowedConfig()
+	res, err := DetectOverWindows(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copier, ok := res.History("C", "P0")
+	if !ok {
+		t.Fatal("copier pair never analyzed")
+	}
+	if copier.Persistence < 0.8 {
+		t.Fatalf("copier persistence = %v (windows %+v)", copier.Persistence, copier.Windows)
+	}
+	indep, ok := res.History("P0", "P1")
+	if ok && indep.Persistence >= copier.Persistence {
+		t.Fatalf("independent persistence %v >= copier %v", indep.Persistence, copier.Persistence)
+	}
+	// Every verdict lies in [0,1] with coherent window bounds.
+	for _, h := range res.Histories {
+		for _, w := range h.Windows {
+			if w.Prob < 0 || w.Prob > 1 {
+				t.Fatalf("window prob %v out of range", w.Prob)
+			}
+			if w.End <= w.Start {
+				t.Fatalf("bad window [%d,%d)", w.Start, w.End)
+			}
+		}
+	}
+}
+
+func TestHistoryMissingPair(t *testing.T) {
+	res := &WindowedResult{}
+	if _, ok := res.History("A", "B"); ok {
+		t.Fatal("missing pair reported present")
+	}
+}

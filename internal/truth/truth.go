@@ -1,0 +1,386 @@
+// Package truth implements truth discovery from conflicting claims.
+//
+// The paper's §2.2 shows why naive voting fails under copying; its §3.2
+// sketches the Bayesian iterative fix. This package provides the two
+// dependence-oblivious baselines — naive voting (Vote) and accuracy-weighted
+// iterative voting (Accu, the ACCU algorithm of the companion VLDB 2009
+// paper) — together with the composable pieces (vote weights, softmax over
+// candidates, accuracy re-estimation) that the dependence-aware solver in
+// package depen reuses inside its outer loop.
+//
+// Probability model. For an object o with observed candidate values
+// v1..vm, each source S asserting v contributes a vote weight
+// A'(S) = ln(n·A(S) / (1 − A(S))), where A(S) is S's accuracy and n the
+// number of plausible false values per object. The probability of v is the
+// softmax of summed weights over the candidates. Accuracy is re-estimated
+// as the smoothed mean probability of the source's asserted values, and the
+// loop runs to a fixpoint.
+package truth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/model"
+	"sourcecurrents/internal/stats"
+)
+
+// Result is the outcome of a truth-discovery run.
+type Result struct {
+	// Probs[o][v] is the posterior probability that v is the true value of
+	// o. For each object the probabilities over observed candidates sum
+	// to 1.
+	Probs map[model.ObjectID]map[string]float64
+	// Chosen[o] is the maximum-probability value (ties broken by smaller
+	// value string, so runs are deterministic).
+	Chosen map[model.ObjectID]string
+	// Accuracy[s] is the final estimated accuracy of each source. Naive
+	// voting leaves it nil.
+	Accuracy map[model.SourceID]float64
+	// Rounds is the number of iterations executed (0 for naive voting).
+	Rounds int
+	// Converged reports whether the accuracy fixpoint was reached before
+	// the round limit.
+	Converged bool
+}
+
+// pickChosen fills Chosen from Probs deterministically.
+func (r *Result) pickChosen() {
+	r.Chosen = make(map[model.ObjectID]string, len(r.Probs))
+	for o, pv := range r.Probs {
+		vals := make([]string, 0, len(pv))
+		for v := range pv {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		best, bestP := "", math.Inf(-1)
+		for _, v := range vals {
+			if pv[v] > bestP {
+				best, bestP = v, pv[v]
+			}
+		}
+		r.Chosen[o] = best
+	}
+}
+
+// Vote is naive majority voting: every source counts once, the probability
+// of a value is its share of the votes. This is the strawman Examples 2.1
+// and 2.2 knock down.
+func Vote(d *dataset.Dataset) *Result {
+	res := &Result{Probs: map[model.ObjectID]map[string]float64{}}
+	for _, o := range d.Objects() {
+		groups := d.ValuesFor(o)
+		var total int
+		for _, g := range groups {
+			total += len(g.Sources)
+		}
+		pv := make(map[string]float64, len(groups))
+		for _, g := range groups {
+			pv[g.Value] = float64(len(g.Sources)) / float64(total)
+		}
+		res.Probs[o] = pv
+	}
+	res.pickChosen()
+	return res
+}
+
+// Config holds the iterative solver's parameters. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// N is the assumed number of plausible false values per object (the
+	// paper's uniform-false-value model). Larger N makes shared values
+	// stronger evidence.
+	N int
+	// InitialAccuracy seeds every source's accuracy.
+	InitialAccuracy float64
+	// MaxRounds caps the fixpoint iteration.
+	MaxRounds int
+	// Tol is the convergence threshold on the max accuracy change.
+	Tol float64
+	// PriorA, PriorB are the Beta prior pseudocounts smoothing accuracy
+	// estimates (Laplace: 1,1).
+	PriorA, PriorB float64
+	// ValueSim, when non-nil, enables the similarity extension: a value
+	// receives ValueSimWeight times the similarity-weighted scores of the
+	// other candidates (captures "UW" vs "Univ. of Washington" support
+	// leakage). Similarity must be in [0, 1].
+	ValueSim func(a, b string) float64
+	// ValueSimWeight scales the similarity contribution (0 disables).
+	ValueSimWeight float64
+	// Known pins the true value of selected objects (semi-supervised
+	// mode): their posterior is fixed at KnownConfidence for the labeled
+	// value. Example 3.1's analysis is conditioned on exactly this kind of
+	// side information ("If we knew which values are true ...").
+	Known map[model.ObjectID]string
+	// KnownConfidence is the pinned probability for labeled values
+	// (default 0.99 when Known is non-empty and this is zero).
+	KnownConfidence float64
+}
+
+// knownConfidence returns the effective pin probability.
+func (c Config) knownConfidence() float64 {
+	if c.KnownConfidence == 0 {
+		return 0.99
+	}
+	return c.KnownConfidence
+}
+
+// ApplyKnown overrides the posterior of labeled objects: the labeled value
+// gets the pin probability and the remainder is split over the other
+// observed candidates. Exported for the dependence-aware solver.
+func (c Config) ApplyKnown(o model.ObjectID, probs map[string]float64) map[string]float64 {
+	want, ok := c.Known[o]
+	if !ok {
+		return probs
+	}
+	conf := c.knownConfidence()
+	out := make(map[string]float64, len(probs)+1)
+	rest := len(probs)
+	if _, seen := probs[want]; seen {
+		rest--
+	}
+	for v := range probs {
+		if v == want {
+			continue
+		}
+		if rest > 0 {
+			out[v] = (1 - conf) / float64(rest)
+		}
+	}
+	out[want] = conf
+	return out
+}
+
+// DefaultConfig returns the parameters used across the experiments:
+// N=100 false values, accuracy seed 0.8, 20 rounds, 1e-4 tolerance,
+// Laplace smoothing.
+func DefaultConfig() Config {
+	return Config{
+		N:               100,
+		InitialAccuracy: 0.8,
+		MaxRounds:       20,
+		Tol:             1e-4,
+		PriorA:          1,
+		PriorB:          1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return errors.New("truth: N must be >= 1")
+	}
+	if c.InitialAccuracy <= 0 || c.InitialAccuracy >= 1 {
+		return errors.New("truth: InitialAccuracy must be in (0,1)")
+	}
+	if c.MaxRounds < 1 {
+		return errors.New("truth: MaxRounds must be >= 1")
+	}
+	if c.Tol <= 0 {
+		return errors.New("truth: Tol must be > 0")
+	}
+	if c.PriorA < 0 || c.PriorB < 0 {
+		return errors.New("truth: Beta prior pseudocounts must be >= 0")
+	}
+	if c.ValueSimWeight < 0 {
+		return errors.New("truth: ValueSimWeight must be >= 0")
+	}
+	if c.KnownConfidence < 0 || c.KnownConfidence >= 1 {
+		return errors.New("truth: KnownConfidence must be in [0,1)")
+	}
+	return nil
+}
+
+// WeightOf maps an accuracy into a vote weight: ln(n·A/(1−A)). Accuracy is
+// clamped into (0,1) so the weight stays finite.
+func WeightOf(accuracy float64, n int) float64 {
+	a := stats.ClampProb(accuracy)
+	return math.Log(float64(n) * a / (1 - a))
+}
+
+// ScoreValues computes per-candidate scores for one object: the sum of the
+// asserting sources' weights, each multiplied by discount(s, value). A nil
+// discount means no discounting. Exported because the dependence-aware
+// solver calls it with its independence discounts.
+func ScoreValues(groups []dataset.ValueGroup, acc map[model.SourceID]float64, n int,
+	discount func(s model.SourceID, value string) float64) map[string]float64 {
+	scores := make(map[string]float64, len(groups))
+	for _, g := range groups {
+		var c float64
+		for _, s := range g.Sources {
+			w := WeightOf(acc[s], n)
+			if discount != nil {
+				w *= discount(s, g.Value)
+			}
+			c += w
+		}
+		scores[g.Value] = c
+	}
+	return scores
+}
+
+// ApplySimilarity adds similarity-leaked support to each score:
+// score'(v) = score(v) + weight · Σ_{v'≠v} sim(v,v')·score(v').
+func ApplySimilarity(scores map[string]float64, sim func(a, b string) float64, weight float64) map[string]float64 {
+	if sim == nil || weight == 0 || len(scores) < 2 {
+		return scores
+	}
+	vals := make([]string, 0, len(scores))
+	for v := range scores {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	out := make(map[string]float64, len(scores))
+	for _, v := range vals {
+		adj := scores[v]
+		for _, u := range vals {
+			if u == v {
+				continue
+			}
+			s := sim(v, u)
+			if s < 0 {
+				s = 0
+			} else if s > 1 {
+				s = 1
+			}
+			adj += weight * s * scores[u]
+		}
+		out[v] = adj
+	}
+	return out
+}
+
+// SoftmaxScores converts additive log-space scores into probabilities over
+// the candidates.
+func SoftmaxScores(scores map[string]float64) map[string]float64 {
+	vals := make([]string, 0, len(scores))
+	for v := range scores {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	logw := make([]float64, len(vals))
+	for i, v := range vals {
+		logw[i] = scores[v]
+	}
+	probs, err := stats.NormalizeLog(logw)
+	if err != nil {
+		return map[string]float64{}
+	}
+	out := make(map[string]float64, len(vals))
+	for i, v := range vals {
+		out[v] = probs[i]
+	}
+	return out
+}
+
+// ClassMass returns the posterior mass of the equivalence class of v under
+// the similarity function: Σ_v' P(v')·sim(v, v'), where sim(v, v) counts
+// fully. With a nil sim it is just P(v). This is how a source asserting
+// "J. Ullman" gets credit for the posterior of "Jeffrey Ullman": exact
+// string probabilities fragment across representations, class mass does
+// not.
+func ClassMass(probs map[string]float64, v string, sim func(a, b string) float64) float64 {
+	if sim == nil {
+		return probs[v]
+	}
+	var mass float64
+	for u, p := range probs {
+		if u == v {
+			mass += p
+			continue
+		}
+		s := sim(v, u)
+		if s < 0 {
+			s = 0
+		} else if s > 1 {
+			s = 1
+		}
+		mass += p * s
+	}
+	if mass > 1 {
+		mass = 1
+	}
+	return mass
+}
+
+// UpdateAccuracy re-estimates each source's accuracy as the smoothed mean
+// posterior probability of the values it asserts.
+func UpdateAccuracy(d *dataset.Dataset, probs map[model.ObjectID]map[string]float64,
+	priorA, priorB float64) map[model.SourceID]float64 {
+	return UpdateAccuracySim(d, probs, priorA, priorB, nil)
+}
+
+// UpdateAccuracySim is UpdateAccuracy with representation awareness: each
+// asserted value is credited with its similarity class mass.
+func UpdateAccuracySim(d *dataset.Dataset, probs map[model.ObjectID]map[string]float64,
+	priorA, priorB float64, sim func(a, b string) float64) map[model.SourceID]float64 {
+	acc := make(map[model.SourceID]float64, len(d.Sources()))
+	for _, s := range d.Sources() {
+		var sum float64
+		var cnt int
+		for _, o := range d.ObjectsOf(s) {
+			v, ok := d.Value(s, o)
+			if !ok {
+				continue
+			}
+			sum += ClassMass(probs[o], v, sim)
+			cnt++
+		}
+		// Beta-smoothed mean: (sum + a) / (cnt + a + b). Probabilities are
+		// fractional successes, so this generalizes BetaPosteriorMean.
+		acc[s] = stats.ClampProb((sum + priorA) / (float64(cnt) + priorA + priorB))
+	}
+	return acc
+}
+
+// MaxAccuracyDelta returns the largest absolute per-source change between
+// two accuracy maps; the fixpoint test.
+func MaxAccuracyDelta(a, b map[model.SourceID]float64) float64 {
+	var max float64
+	for s, av := range a {
+		d := math.Abs(av - b[s])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Accu runs accuracy-weighted iterative truth discovery (no dependence
+// modelling).
+func Accu(d *dataset.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Frozen() {
+		return nil, fmt.Errorf("truth: dataset must be frozen")
+	}
+	acc := make(map[model.SourceID]float64, len(d.Sources()))
+	for _, s := range d.Sources() {
+		acc[s] = cfg.InitialAccuracy
+	}
+	res := &Result{}
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		probs := make(map[model.ObjectID]map[string]float64, len(d.Objects()))
+		for _, o := range d.Objects() {
+			scores := ScoreValues(d.ValuesFor(o), acc, cfg.N, nil)
+			scores = ApplySimilarity(scores, cfg.ValueSim, cfg.ValueSimWeight)
+			probs[o] = cfg.ApplyKnown(o, SoftmaxScores(scores))
+		}
+		next := UpdateAccuracySim(d, probs, cfg.PriorA, cfg.PriorB, cfg.ValueSim)
+		res.Probs = probs
+		res.Rounds = round
+		if MaxAccuracyDelta(acc, next) < cfg.Tol {
+			acc = next
+			res.Converged = true
+			break
+		}
+		acc = next
+	}
+	res.Accuracy = acc
+	res.pickChosen()
+	return res, nil
+}

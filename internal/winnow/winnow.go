@@ -1,0 +1,144 @@
+// Package winnow implements winnowing document fingerprinting (Schleimer,
+// Wilkerson, Aiken — SIGMOD 2003), the MOSS plagiarism-detection technique
+// the paper cites as related work [15], adapted to structured sources.
+//
+// It serves as the copy-detection baseline in the experiments: a source's
+// claims are serialized into a token stream, k-gram hashes are winnowed
+// into a fingerprint, and pairwise fingerprint overlap approximates
+// similarity. The baseline deliberately ignores truth and accuracy, which
+// is exactly what the Bayesian detector exploits to beat it (EX10).
+package winnow
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/model"
+)
+
+// Config holds winnowing parameters: fingerprints are selected from hashes
+// of K consecutive tokens using windows of size W (guarantee threshold
+// t = W + K - 1).
+type Config struct {
+	K int // k-gram size (tokens)
+	W int // winnowing window size
+}
+
+// DefaultConfig uses k=3 tokens and window 4.
+func DefaultConfig() Config { return Config{K: 3, W: 4} }
+
+// Fingerprint is the winnowed hash set of one source.
+type Fingerprint map[uint64]bool
+
+// tokensOf serializes a source's snapshot view into a deterministic token
+// stream: object, value pairs in object order.
+func tokensOf(d *dataset.Dataset, s model.SourceID) []string {
+	var toks []string
+	for _, o := range d.ObjectsOf(s) {
+		v, _ := d.Value(s, o)
+		toks = append(toks, o.Entity, o.Attribute, v)
+	}
+	return toks
+}
+
+// hashKGrams hashes each window of k consecutive tokens with FNV-1a.
+func hashKGrams(toks []string, k int) []uint64 {
+	if len(toks) < k || k <= 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(toks)-k+1)
+	for i := 0; i+k <= len(toks); i++ {
+		h := fnv.New64a()
+		for j := i; j < i+k; j++ {
+			h.Write([]byte(toks[j]))
+			h.Write([]byte{0})
+		}
+		out = append(out, h.Sum64())
+	}
+	return out
+}
+
+// winnowHashes selects, from each window of w consecutive hashes, the
+// minimum (rightmost minimum on ties) — the winnowing algorithm.
+func winnowHashes(hashes []uint64, w int) Fingerprint {
+	fp := Fingerprint{}
+	if len(hashes) == 0 || w <= 0 {
+		return fp
+	}
+	if len(hashes) <= w {
+		min := hashes[0]
+		for _, h := range hashes[1:] {
+			if h < min {
+				min = h
+			}
+		}
+		fp[min] = true
+		return fp
+	}
+	for i := 0; i+w <= len(hashes); i++ {
+		minIdx := i
+		for j := i; j < i+w; j++ {
+			if hashes[j] <= hashes[minIdx] {
+				minIdx = j // rightmost minimum
+			}
+		}
+		fp[hashes[minIdx]] = true
+	}
+	return fp
+}
+
+// FingerprintSource computes the winnowed fingerprint of one source.
+func FingerprintSource(d *dataset.Dataset, s model.SourceID, cfg Config) Fingerprint {
+	return winnowHashes(hashKGrams(tokensOf(d, s), cfg.K), cfg.W)
+}
+
+// Similarity is the Jaccard overlap of two fingerprints.
+func Similarity(a, b Fingerprint) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	var inter int
+	for h := range a {
+		if b[h] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Pair is a scored source pair.
+type Pair struct {
+	Pair model.SourcePair
+	Sim  float64
+}
+
+// DetectPairs fingerprints every source and returns all pairs with
+// similarity >= threshold, sorted by decreasing similarity.
+func DetectPairs(d *dataset.Dataset, cfg Config, threshold float64) []Pair {
+	fps := map[model.SourceID]Fingerprint{}
+	for _, s := range d.Sources() {
+		fps[s] = FingerprintSource(d, s, cfg)
+	}
+	var out []Pair
+	srcs := d.Sources()
+	for i := 0; i < len(srcs); i++ {
+		for j := i + 1; j < len(srcs); j++ {
+			sim := Similarity(fps[srcs[i]], fps[srcs[j]])
+			if sim >= threshold {
+				out = append(out, Pair{Pair: model.NewSourcePair(srcs[i], srcs[j]), Sim: sim})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Sim != out[b].Sim {
+			return out[a].Sim > out[b].Sim
+		}
+		return out[a].Pair.String() < out[b].Pair.String()
+	})
+	return out
+}

@@ -1,0 +1,125 @@
+package winnow
+
+import (
+	"testing"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/model"
+)
+
+func TestHashKGrams(t *testing.T) {
+	toks := []string{"a", "b", "c", "d"}
+	h := hashKGrams(toks, 2)
+	if len(h) != 3 {
+		t.Fatalf("kgram count = %d", len(h))
+	}
+	// Same tokens, same hashes; token boundaries matter.
+	h2 := hashKGrams([]string{"a", "b"}, 2)
+	if h[0] != h2[0] {
+		t.Fatal("identical 2-grams must hash equal")
+	}
+	h3 := hashKGrams([]string{"ab", ""}, 2)
+	if h3[0] == h2[0] {
+		t.Fatal("token-boundary collision: [ab,''] vs [a,b]")
+	}
+	if hashKGrams([]string{"a"}, 2) != nil {
+		t.Fatal("short input should yield nil")
+	}
+	if hashKGrams(toks, 0) != nil {
+		t.Fatal("k=0 should yield nil")
+	}
+}
+
+func TestWinnowHashesGuarantee(t *testing.T) {
+	// Every window of w consecutive hashes must contribute at least one
+	// fingerprint, so any shared run of w+k-1 tokens is detectable.
+	hashes := []uint64{9, 3, 7, 1, 8, 2, 6, 4}
+	fp := winnowHashes(hashes, 3)
+	if len(fp) == 0 {
+		t.Fatal("empty fingerprint")
+	}
+	for i := 0; i+3 <= len(hashes); i++ {
+		found := false
+		for j := i; j < i+3; j++ {
+			if fp[hashes[j]] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("window at %d contributed nothing", i)
+		}
+	}
+	// Short input: single minimum.
+	fp = winnowHashes([]uint64{5, 2, 9}, 10)
+	if len(fp) != 1 || !fp[2] {
+		t.Fatalf("short-input fingerprint = %v", fp)
+	}
+	if len(winnowHashes(nil, 3)) != 0 {
+		t.Fatal("nil input should give empty fingerprint")
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	a := Fingerprint{1: true, 2: true}
+	b := Fingerprint{2: true, 3: true}
+	if got := Similarity(a, b); got != 1.0/3.0 {
+		t.Fatalf("similarity = %v", got)
+	}
+	if Similarity(a, a) != 1 {
+		t.Fatal("self similarity != 1")
+	}
+	if Similarity(Fingerprint{}, Fingerprint{}) != 1 {
+		t.Fatal("empty fingerprints identical")
+	}
+	if Similarity(a, Fingerprint{9: true}) != 0 {
+		t.Fatal("disjoint similarity != 0")
+	}
+}
+
+func TestDetectPairsTable1(t *testing.T) {
+	// S4 is an exact copy of S3: their fingerprints are identical, so the
+	// baseline finds them trivially. S5 differs in one value.
+	d := dataset.Table1()
+	pairs := DetectPairs(d, DefaultConfig(), 0.0)
+	if len(pairs) != 10 {
+		t.Fatalf("pairs = %d, want all 10", len(pairs))
+	}
+	if pairs[0].Pair != model.NewSourcePair("S3", "S4") || pairs[0].Sim != 1 {
+		t.Fatalf("top pair = %+v", pairs[0])
+	}
+	// Thresholding keeps only near-duplicates.
+	high := DetectPairs(d, DefaultConfig(), 0.99)
+	if len(high) != 1 {
+		t.Fatalf("high-threshold pairs = %v", high)
+	}
+}
+
+func TestBaselineBlindToAccuracy(t *testing.T) {
+	// The baseline's known failure mode: two accurate independent sources
+	// look as similar as copier pairs, because fingerprints ignore truth.
+	d := dataset.New()
+	for i := 0; i < 30; i++ {
+		o := model.Obj(string(rune('a'+i%26))+string(rune('0'+i/26)), "v")
+		_ = d.Add(model.NewClaim("A", o, "T"))
+		_ = d.Add(model.NewClaim("B", o, "T"))
+	}
+	d.Freeze()
+	pairs := DetectPairs(d, DefaultConfig(), 0.9)
+	if len(pairs) != 1 {
+		t.Fatalf("accurate independent pair not (wrongly) flagged: %v", pairs)
+	}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	d := dataset.Table1()
+	f1 := FingerprintSource(d, "S1", DefaultConfig())
+	f2 := FingerprintSource(d, "S1", DefaultConfig())
+	if len(f1) != len(f2) {
+		t.Fatal("fingerprint size differs")
+	}
+	for h := range f1 {
+		if !f2[h] {
+			t.Fatal("fingerprints differ across runs")
+		}
+	}
+}
