@@ -1,11 +1,17 @@
 // Benchmarks: one per experiment in DESIGN.md §4, so every table and
-// figure-equivalent can be timed with `go test -bench=. -benchmem`.
+// figure-equivalent can be timed with `go test -bench=. -benchmem`, plus
+// sequential-vs-parallel pairs over synthetic worlds of 50-500 sources that
+// capture the execution engine's speedup trajectory (compare with
+// `go test -bench 'Accu|Detect' -cpu 1,4,8`).
 package sourcecurrents_test
 
 import (
+	"fmt"
 	"testing"
 
+	"sourcecurrents"
 	"sourcecurrents/internal/experiments"
+	"sourcecurrents/internal/synth"
 )
 
 func BenchmarkEX1Table1(b *testing.B) {
@@ -80,3 +86,120 @@ func BenchmarkEX10Winnow(b *testing.B) {
 		_ = experiments.EX10Winnow(29, 200)
 	}
 }
+
+// benchSnapshotWorld generates a snapshot corpus with nSources independent
+// sources (accuracies spread over 0.55-0.95) plus one copier per ten
+// independents, all claiming nObjects objects.
+func benchSnapshotWorld(b *testing.B, nSources, nObjects int) *sourcecurrents.Dataset {
+	b.Helper()
+	accs := make([]float64, nSources)
+	for i := range accs {
+		accs[i] = 0.55 + 0.4*float64(i%9)/8
+	}
+	var copiers []synth.CopierSpec
+	for i := 0; i < nSources/10; i++ {
+		copiers = append(copiers, synth.CopierSpec{MasterIndex: i, CopyRate: 0.8, OwnAcc: 0.6})
+	}
+	sw, err := synth.GenerateSnapshot(synth.SnapshotConfig{
+		Seed:           int64(nSources)*31 + int64(nObjects),
+		NObjects:       nObjects,
+		IndependentAcc: accs,
+		Copiers:        copiers,
+		FalsePool:      5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sw.Dataset
+}
+
+// benchSizes are the source counts the engine benchmarks sweep; the larger
+// scales are skipped in -short mode.
+var benchSizes = []struct {
+	sources, objects int
+	short            bool
+}{
+	{50, 60, true},
+	{200, 40, false},
+	{500, 30, false},
+}
+
+func benchmarkAccu(b *testing.B, parallelism int) {
+	for _, sz := range benchSizes {
+		b.Run(fmt.Sprintf("sources=%d", sz.sources), func(b *testing.B) {
+			if testing.Short() && !sz.short {
+				b.Skip("large scale skipped in short mode")
+			}
+			d := benchSnapshotWorld(b, sz.sources, sz.objects)
+			cfg := sourcecurrents.DefaultTruthConfig()
+			cfg.Parallelism = parallelism
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sourcecurrents.DiscoverTruth(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAccuSequential(b *testing.B) { benchmarkAccu(b, 1) }
+func BenchmarkAccuParallel(b *testing.B)   { benchmarkAccu(b, 0) }
+
+func benchmarkDetect(b *testing.B, parallelism int) {
+	for _, sz := range benchSizes {
+		b.Run(fmt.Sprintf("sources=%d", sz.sources), func(b *testing.B) {
+			if testing.Short() && !sz.short {
+				b.Skip("large scale skipped in short mode")
+			}
+			d := benchSnapshotWorld(b, sz.sources, sz.objects)
+			cfg := sourcecurrents.DefaultDependenceConfig()
+			cfg.Parallelism = parallelism
+			// Fixed outer rounds so sequential and parallel time identical
+			// work regardless of where the accuracy fixpoint lands.
+			cfg.MaxRounds = 3
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sourcecurrents.DetectDependence(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDetectSequential(b *testing.B) { benchmarkDetect(b, 1) }
+func BenchmarkDetectParallel(b *testing.B)   { benchmarkDetect(b, 0) }
+
+func benchmarkTemporal(b *testing.B, parallelism int) {
+	tw, err := synth.GenerateTemporal(synth.TemporalConfig{
+		Seed:       41,
+		NObjects:   50,
+		Horizon:    80,
+		ChangeRate: 0.1,
+		Publishers: []synth.PublisherSpec{
+			{CaptureProb: 0.9, MaxDelay: 2}, {CaptureProb: 0.8, MaxDelay: 3},
+			{CaptureProb: 0.7, MaxDelay: 4}, {CaptureProb: 0.85, MaxDelay: 2},
+			{CaptureProb: 0.75, MaxDelay: 3}, {CaptureProb: 0.65, MaxDelay: 2},
+			{CaptureProb: 0.9, MaxDelay: 1}, {CaptureProb: 0.6, MaxDelay: 3},
+		},
+		LazyCopiers: []synth.LazyCopierSpec{
+			{MasterIndex: 0, CopyProb: 0.8, MinLag: 1, MaxLag: 4},
+			{MasterIndex: 2, CopyProb: 0.7, MinLag: 1, MaxLag: 5},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sourcecurrents.DefaultTemporalConfig()
+	cfg.Parallelism = parallelism
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sourcecurrents.DetectTemporalDependence(tw.Dataset, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTemporalSequential(b *testing.B) { benchmarkTemporal(b, 1) }
+func BenchmarkTemporalParallel(b *testing.B)   { benchmarkTemporal(b, 0) }

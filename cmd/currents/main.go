@@ -5,11 +5,11 @@
 //
 // Subcommands:
 //
-//	currents detect  [-min-shared N] [-threshold P] file.csv
+//	currents detect  [-min-shared N] [-threshold P] [-parallelism N] file.csv
 //	    snapshot copy detection + copy-aware truth discovery
-//	currents truth   [-method vote|accu|depen] file.csv
+//	currents truth   [-method vote|accu|depen] [-parallelism N] file.csv
 //	    truth discovery only
-//	currents temporal [-window W] file.csv
+//	currents temporal [-window W] [-parallelism N] file.csv
 //	    update-trace dependence detection (claims must carry timestamps)
 //	currents dissim  file.csv
 //	    dissimilarity-dependence on Good/Neutral/Bad ratings
@@ -75,6 +75,7 @@ func runDetect(args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
 	minShared := fs.Int("min-shared", 2, "minimum shared objects per analyzed pair")
 	threshold := fs.Float64("threshold", 0.5, "dependence posterior threshold")
+	parallelism := fs.Int("parallelism", 0, "worker count (0 = all cores, 1 = sequential)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -86,6 +87,7 @@ func runDetect(args []string) error {
 	cfg := sourcecurrents.DefaultDependenceConfig()
 	cfg.MinShared = *minShared
 	cfg.DepThreshold = *threshold
+	cfg.Parallelism = *parallelism
 	res, err := sourcecurrents.DetectDependence(d, cfg)
 	if err != nil {
 		return err
@@ -109,6 +111,7 @@ func runDetect(args []string) error {
 func runTruth(args []string) error {
 	fs := flag.NewFlagSet("truth", flag.ExitOnError)
 	method := fs.String("method", "depen", "vote, accu or depen")
+	parallelism := fs.Int("parallelism", 0, "worker count (0 = all cores, 1 = sequential)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -124,13 +127,17 @@ func runTruth(args []string) error {
 		r := sourcecurrents.VoteTruth(d)
 		chosen, probs = r.Chosen, r.Probs
 	case "accu":
-		r, err := sourcecurrents.DiscoverTruth(d, sourcecurrents.DefaultTruthConfig())
+		cfg := sourcecurrents.DefaultTruthConfig()
+		cfg.Parallelism = *parallelism
+		r, err := sourcecurrents.DiscoverTruth(d, cfg)
 		if err != nil {
 			return err
 		}
 		chosen, probs = r.Chosen, r.Probs
 	case "depen":
-		r, err := sourcecurrents.DetectDependence(d, sourcecurrents.DefaultDependenceConfig())
+		cfg := sourcecurrents.DefaultDependenceConfig()
+		cfg.Parallelism = *parallelism
+		r, err := sourcecurrents.DetectDependence(d, cfg)
 		if err != nil {
 			return err
 		}
@@ -148,6 +155,7 @@ func runTruth(args []string) error {
 func runTemporal(args []string) error {
 	fs := flag.NewFlagSet("temporal", flag.ExitOnError)
 	window := fs.Int64("window", 5, "maximum copy lag")
+	parallelism := fs.Int("parallelism", 0, "worker count (0 = all cores, 1 = sequential)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -158,6 +166,7 @@ func runTemporal(args []string) error {
 	}
 	cfg := sourcecurrents.DefaultTemporalConfig()
 	cfg.Window = sourcecurrents.Time(*window)
+	cfg.Parallelism = *parallelism
 	res, err := sourcecurrents.DetectTemporalDependence(d, cfg)
 	if err != nil {
 		return err

@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only EX4]
+//	experiments [-quick] [-only EX4] [-parallelism N]
 //
 // -quick runs EX4 at reduced scale (seconds instead of ~10s) and smaller
-// sweeps; -only selects a single experiment by id.
+// sweeps; -only selects a single experiment by id; -parallelism sets the
+// solver worker count (0 = all cores, 1 = sequential; results are identical
+// either way).
 package main
 
 import (
@@ -22,7 +24,9 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-scale variants")
 	only := flag.String("only", "", "run a single experiment (e.g. EX4)")
+	parallelism := flag.Int("parallelism", 0, "solver worker count (0 = all cores, 1 = sequential)")
 	flag.Parse()
+	experiments.Parallelism = *parallelism
 
 	sweepObjects := 400
 	if *quick {

@@ -1,0 +1,3 @@
+module sourcecurrents
+
+go 1.21

@@ -48,6 +48,7 @@ import (
 	"sort"
 
 	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/engine"
 	"sourcecurrents/internal/model"
 	"sourcecurrents/internal/stats"
 	"sourcecurrents/internal/truth"
@@ -72,6 +73,18 @@ type Config struct {
 	// threshold.
 	MaxRounds int
 	Tol       float64
+	// Parallelism is the worker count for the per-object truth step and the
+	// O(S²) pairwise hypothesis scoring. Values <= 0 select
+	// runtime.GOMAXPROCS(0); 1 reproduces sequential execution exactly.
+	// Results are bit-identical at every setting. It governs every phase of
+	// Detect; the embedded Truth config's own Parallelism is not consulted
+	// here.
+	Parallelism int
+}
+
+// Engine returns the execution-engine configuration for this detector.
+func (c Config) Engine() engine.Config {
+	return engine.Config{Workers: c.Parallelism}
 }
 
 // DefaultConfig returns the parameters used across the experiments.
@@ -263,26 +276,37 @@ func Detect(d *dataset.Dataset, cfg Config) (*Result, error) {
 	res := &Result{dirProb: map[model.SourceID]map[model.SourceID]float64{}}
 	var probs map[model.ObjectID]map[string]float64
 	var pairs []Dependence
+	objects := d.Objects()
+	eng := cfg.Engine()
 
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		// Truth step with dependence discounts from the previous round.
+		// Each object gets its own discount closure (discountFor keeps
+		// per-object state only), so workers share nothing but read-only
+		// maps; the merge below iterates in canonical object order.
 		discount := makeDiscount(d, acc, res.dirProb, cfg.CopyRate)
-		probs = make(map[model.ObjectID]map[string]float64, len(d.Objects()))
-		for _, o := range d.Objects() {
+		scored := engine.MapObjects(eng, objects, func(o model.ObjectID) map[string]float64 {
 			scores := truth.ScoreValues(d.ValuesFor(o), acc, cfg.Truth.N, discountFor(discount, o))
 			scores = truth.ApplySimilarity(scores, cfg.Truth.ValueSim, cfg.Truth.ValueSimWeight)
-			probs[o] = cfg.Truth.ApplyKnown(o, truth.SoftmaxScores(scores))
+			return cfg.Truth.ApplyKnown(o, truth.SoftmaxScores(scores))
+		})
+		probs = make(map[model.ObjectID]map[string]float64, len(objects))
+		for i, o := range objects {
+			probs[o] = scored[i]
 		}
 
 		// Accuracy step.
 		next := truth.UpdateAccuracySim(d, probs, cfg.Truth.PriorA, cfg.Truth.PriorB, cfg.Truth.ValueSim)
 
-		// Dependence step.
+		// Dependence step: score candidate pairs in parallel, then merge in
+		// the candidates' deterministic order.
+		scoredPairs := engine.MapObjects(eng, candidates, func(ov dataset.Overlap) Dependence {
+			kt, kf, kd := evidence(d, ov, probs, cfg.Truth.ValueSim)
+			return scorePair(ov, kt, kf, kd, next, cfg)
+		})
 		pairs = pairs[:0]
 		dir := map[model.SourceID]map[model.SourceID]float64{}
-		for _, ov := range candidates {
-			kt, kf, kd := evidence(d, ov, probs, cfg.Truth.ValueSim)
-			dep := scorePair(ov, kt, kf, kd, next, cfg)
+		for _, dep := range scoredPairs {
 			pairs = append(pairs, dep)
 			setDir(dir, dep.Pair.A, dep.Pair.B, dep.ProbAB)
 			setDir(dir, dep.Pair.B, dep.Pair.A, dep.ProbBA)
@@ -358,36 +382,52 @@ func sortDeps(deps []Dependence) {
 	})
 }
 
-// discountTable maps (object independent of) source orderings to vote
-// multipliers; built once per round.
+// discountTable holds the read-only inputs of the per-round vote
+// multipliers; built once per round and shared by all workers.
 type discountTable struct {
-	d    *dataset.Dataset
-	acc  map[model.SourceID]float64
-	dir  map[model.SourceID]map[model.SourceID]float64
-	c    float64
-	memo map[model.ObjectID]map[model.SourceID]float64
+	d   *dataset.Dataset
+	acc map[model.SourceID]float64
+	dir map[model.SourceID]map[model.SourceID]float64
+	c   float64
 }
 
 func makeDiscount(d *dataset.Dataset, acc map[model.SourceID]float64,
 	dir map[model.SourceID]map[model.SourceID]float64, c float64) *discountTable {
-	return &discountTable{d: d, acc: acc, dir: dir, c: c,
-		memo: map[model.ObjectID]map[model.SourceID]float64{}}
+	return &discountTable{d: d, acc: acc, dir: dir, c: c}
 }
 
 // discountFor adapts the table to truth.ScoreValues' callback signature for
-// a fixed object.
+// a fixed object. The returned closure memoizes per-object factors locally
+// — the table itself stays read-only — so distinct objects can be scored
+// concurrently without synchronization. Each closure is used by a single
+// goroutine (the one scoring its object).
 func discountFor(t *discountTable, o model.ObjectID) func(s model.SourceID, v string) float64 {
 	if t == nil {
 		return nil
 	}
-	return func(s model.SourceID, v string) float64 { return t.factor(o, v, s) }
+	memo := map[model.SourceID]float64{}
+	computed := map[string]bool{}
+	return func(s model.SourceID, v string) float64 {
+		if f, ok := memo[s]; ok {
+			return f
+		}
+		if !computed[v] {
+			computed[v] = true
+			t.fillFactors(o, v, memo)
+		}
+		if f, ok := memo[s]; ok {
+			return f
+		}
+		return 1
+	}
 }
 
-// factor returns the independence probability of s's vote for value v on
-// object o: the probability that s did NOT copy its value from any
-// higher-ranked source asserting the same value. Sources are ranked by
-// accuracy (descending, ties by id) so the most credible provider keeps the
-// full vote — the greedy order of the VLDB 2009 vote-count computation.
+// fillFactors computes the independence probability of each vote for value
+// v on object o: the probability that the source did NOT copy its value
+// from any higher-ranked source asserting the same value. Sources are
+// ranked by accuracy (descending, ties by id) so the most credible provider
+// keeps the full vote — the greedy order of the VLDB 2009 vote-count
+// computation. Results are written into the caller's memo.
 //
 // The discount uses the pair's TOTAL dependence posterior rather than the
 // directional split: within a clique asserting the same value, what matters
@@ -396,12 +436,7 @@ func discountFor(t *discountTable, o model.ObjectID) func(s model.SourceID, v st
 // fully dependent pair would keep 1.6 votes instead of ~1.2. Charging the
 // lower-ranked member the full dependence implements the paper's "ignore
 // the values provided by S4 and S5 during the voting process".
-func (t *discountTable) factor(o model.ObjectID, v string, s model.SourceID) float64 {
-	if m, ok := t.memo[o]; ok {
-		if f, ok := m[s]; ok {
-			return f
-		}
-	}
+func (t *discountTable) fillFactors(o model.ObjectID, v string, memo map[model.SourceID]float64) {
 	// Collect the sources asserting v on o and rank them.
 	var group []model.SourceID
 	for _, g := range t.d.ValuesFor(o) {
@@ -417,11 +452,6 @@ func (t *discountTable) factor(o model.ObjectID, v string, s model.SourceID) flo
 		}
 		return group[i] < group[j]
 	})
-	m, ok := t.memo[o]
-	if !ok {
-		m = map[model.SourceID]float64{}
-		t.memo[o] = m
-	}
 	for i, si := range group {
 		f := 1.0
 		for j := 0; j < i; j++ {
@@ -431,12 +461,8 @@ func (t *discountTable) factor(o model.ObjectID, v string, s model.SourceID) flo
 			}
 			f *= 1 - t.c*dep
 		}
-		m[si] = f
+		memo[si] = f
 	}
-	if f, ok := m[s]; ok {
-		return f
-	}
-	return 1
 }
 
 func (t *discountTable) dirOf(from, to model.SourceID) float64 {

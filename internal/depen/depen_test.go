@@ -396,7 +396,7 @@ func TestDiscountMonotoneInDependence(t *testing.T) {
 			"B": {"A": dep},
 		}
 		tab := makeDiscount(d, acc, dir, 0.8)
-		return tab.factor(o, "v", "B")
+		return discountFor(tab, o)("B", "v")
 	}
 	prev := 1.1
 	for _, dep := range []float64{0, 0.25, 0.5, 0.75, 1} {
@@ -412,7 +412,7 @@ func TestDiscountMonotoneInDependence(t *testing.T) {
 	// Highest-accuracy source always keeps the full vote.
 	dir := map[model.SourceID]map[model.SourceID]float64{"B": {"A": 1}, "A": {"B": 1}}
 	tab := makeDiscount(d, acc, dir, 0.8)
-	if got := tab.factor(o, "v", "A"); got != 1 {
+	if got := discountFor(tab, o)("A", "v"); got != 1 {
 		t.Fatalf("top-ranked factor = %v, want 1", got)
 	}
 }

@@ -129,3 +129,85 @@ func TestDetectPosteriorsAreProbabilitiesOnRandomWorlds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// randomDetectWorld builds a random snapshot dataset for Result-level
+// property tests: a handful of sources with random claim patterns (partial
+// coverage included, so some pairs fall below MinShared).
+func randomDetectWorld(rng *rand.Rand) *dataset.Dataset {
+	d := dataset.New()
+	nObj := 15 + rng.Intn(25)
+	nSrc := 4 + rng.Intn(4)
+	for i := 0; i < nObj; i++ {
+		o := model.Obj(fmt.Sprintf("o%d", i), "v")
+		for s := 0; s < nSrc; s++ {
+			if rng.Float64() < 0.2 { // partial coverage
+				continue
+			}
+			v := fmt.Sprintf("T%d", i)
+			if rng.Float64() < 0.35 {
+				v = fmt.Sprintf("F%d_%d", i, rng.Intn(4))
+			}
+			_ = d.Add(model.NewClaim(model.SourceID(fmt.Sprintf("S%d", s)), o, v))
+		}
+	}
+	d.Freeze()
+	return d
+}
+
+func TestResultDependenceProbIsSymmetric(t *testing.T) {
+	// DependenceProb(a,b) == DependenceProb(b,a) for every pair — analyzed
+	// or not — and CopyProb's two directions sum to exactly the pair's
+	// hypothesis posterior P(dependent) = ProbAB + ProbBA.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDetectWorld(rng)
+		cfg := DefaultConfig()
+		cfg.MaxRounds = 4
+		res, err := Detect(d, cfg)
+		if err != nil {
+			return false
+		}
+		sources := d.Sources()
+		analyzed := map[model.SourcePair]Dependence{}
+		for _, dp := range res.AllPairs {
+			analyzed[dp.Pair] = dp
+		}
+		for i := 0; i < len(sources); i++ {
+			for j := i + 1; j < len(sources); j++ {
+				a, b := sources[i], sources[j]
+				if res.DependenceProb(a, b) != res.DependenceProb(b, a) {
+					return false
+				}
+				dp, ok := analyzed[model.NewSourcePair(a, b)]
+				if !ok {
+					// Unanalyzed pairs report zero everywhere.
+					if res.DependenceProb(a, b) != 0 || res.CopyProb(a, b) != 0 || res.CopyProb(b, a) != 0 {
+						return false
+					}
+					continue
+				}
+				// Directional posteriors must match the verdict and sum to
+				// the total dependence posterior.
+				if res.CopyProb(dp.Pair.A, dp.Pair.B) != dp.ProbAB ||
+					res.CopyProb(dp.Pair.B, dp.Pair.A) != dp.ProbBA {
+					return false
+				}
+				if math.Abs(res.CopyProb(a, b)+res.CopyProb(b, a)-res.DependenceProb(a, b)) > 1e-12 {
+					return false
+				}
+				if math.Abs(dp.ProbAB+dp.ProbBA-dp.Prob) > 1e-9 {
+					return false
+				}
+				// The three-hypothesis posterior is a distribution: the
+				// implied P(independent) completes it to 1.
+				if dp.Prob < -1e-9 || dp.Prob > 1+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

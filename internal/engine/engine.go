@@ -1,0 +1,136 @@
+// Package engine provides the deterministic parallel execution primitives
+// the discovery algorithms run on.
+//
+// The paper's hot loops are embarrassingly parallel: truth discovery scores
+// each object independently, copy detection scores each source pair
+// independently, and windowed temporal detection analyzes each time window
+// independently. The engine schedules those loops over a configurable
+// worker pool while guaranteeing the result is bit-identical to the
+// sequential run:
+//
+//   - every work item writes only its own index-addressed slot of the
+//     output slice, so no result depends on scheduling order;
+//   - callers merge results by iterating the output slice in canonical
+//     input order, never in goroutine-completion or map order;
+//   - a worker count of 1 runs the loop inline on the calling goroutine,
+//     reproducing the pre-engine sequential behavior exactly.
+//
+// Work is handed out in chunks claimed from an atomic cursor, so uneven
+// item costs (pairs with large overlaps next to pairs with tiny ones) load
+// balance without per-item synchronization overhead.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config tunes a parallel map. The zero value is fully usable: it runs with
+// runtime.GOMAXPROCS(0) workers and an automatically sized chunk.
+type Config struct {
+	// Workers is the number of concurrent workers. Values <= 0 select
+	// runtime.GOMAXPROCS(0); 1 forces sequential inline execution.
+	Workers int
+	// ChunkSize is the number of consecutive items a worker claims at a
+	// time. Values <= 0 select an automatic size that yields a few chunks
+	// per worker for load balancing.
+	ChunkSize int
+}
+
+// DefaultWorkers is the worker count a non-positive Workers (or a
+// non-positive Parallelism knob anywhere in the public configs) resolves
+// to: runtime.GOMAXPROCS(0).
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// WorkerCount resolves the configured worker count.
+func (c Config) WorkerCount() int {
+	if c.Workers <= 0 {
+		return DefaultWorkers()
+	}
+	return c.Workers
+}
+
+// chunkFor resolves the chunk size for n items across w workers.
+func (c Config) chunkFor(n, w int) int {
+	if c.ChunkSize > 0 {
+		return c.ChunkSize
+	}
+	// Aim for ~4 chunks per worker so stragglers rebalance, with a floor of
+	// 1 item.
+	chunk := n / (w * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
+// MapN computes fn(i) for every i in [0, n) and returns the results indexed
+// by i. With Workers == 1 (or n < 2) the loop runs inline; otherwise chunks
+// of indexes are distributed over the worker pool. fn must be safe for
+// concurrent invocation on distinct indexes; it is called exactly once per
+// index.
+func MapN[R any](cfg Config, n int, fn func(i int) R) []R {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]R, n)
+	workers := cfg.WorkerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	chunk := int64(cfg.chunkFor(n, workers))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := cursor.Add(chunk) - chunk
+				if start >= int64(n) {
+					return
+				}
+				end := start + chunk
+				if end > int64(n) {
+					end = int64(n)
+				}
+				for i := start; i < end; i++ {
+					out[i] = fn(int(i))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// MapObjects applies fn to every item of a slice — one truth-discovery
+// object, one candidate overlap, one analysis window — and returns the
+// results in input order.
+func MapObjects[T, R any](cfg Config, items []T, fn func(item T) R) []R {
+	return MapN(cfg, len(items), func(i int) R { return fn(items[i]) })
+}
+
+// MapPairs applies fn to every unordered index pair {i, j} with
+// 0 <= i < j < n, in canonical order (i ascending, then j ascending), and
+// returns the n·(n−1)/2 results in that order. This is the shape of the
+// pairwise dependence-detection loops.
+func MapPairs[R any](cfg Config, n int, fn func(i, j int) R) []R {
+	if n < 2 {
+		return nil
+	}
+	pairs := make([][2]int, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	return MapObjects(cfg, pairs, func(p [2]int) R { return fn(p[0], p[1]) })
+}

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestMapNMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 17, 100, 1000} {
+		input := make([]float64, n)
+		for i := range input {
+			input[i] = rng.Float64()
+		}
+		fn := func(i int) float64 { return input[i] * float64(i+1) }
+		want := MapN(Config{Workers: 1}, n, fn)
+		for _, workers := range []int{0, 2, 4, 16, 3 * n} {
+			got := MapN(Config{Workers: workers}, n, fn)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d workers=%d: parallel result differs from sequential", n, workers)
+			}
+		}
+	}
+}
+
+func TestMapNCallsEachIndexOnce(t *testing.T) {
+	const n = 257
+	counts := make([]int32, n)
+	MapN(Config{Workers: 8, ChunkSize: 3}, n, func(i int) int {
+		counts[i]++ // safe: each index is visited by exactly one worker
+		return i
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d called %d times", i, c)
+		}
+	}
+}
+
+func TestMapNStableUnderJitter(t *testing.T) {
+	// Randomized per-item delays reorder completion; output order must not
+	// care.
+	const n = 64
+	rng := rand.New(rand.NewSource(7))
+	delays := make([]time.Duration, n)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(100)) * time.Microsecond
+	}
+	fn := func(i int) int {
+		time.Sleep(delays[i])
+		return i * i
+	}
+	want := MapN(Config{Workers: 1}, n, func(i int) int { return i * i })
+	got := MapN(Config{Workers: 8, ChunkSize: 1}, n, fn)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("jittered parallel result differs from sequential")
+	}
+}
+
+func TestMapObjectsPreservesInputOrder(t *testing.T) {
+	items := []string{"d", "a", "c", "b"}
+	got := MapObjects(Config{Workers: 4}, items, func(s string) string { return s + "!" })
+	want := []string{"d!", "a!", "c!", "b!"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestMapPairsEnumeratesCanonically(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 20} {
+		got := MapPairs(Config{Workers: 4, ChunkSize: 2}, n, func(i, j int) [2]int {
+			return [2]int{i, j}
+		})
+		var want [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				want = append(want, [2]int{i, j})
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: got %d pairs, want %d", n, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("n=%d pair %d: got %v want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestWorkerCountResolution(t *testing.T) {
+	if got := (Config{}).WorkerCount(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("zero config workers = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := (Config{Workers: -3}).WorkerCount(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative workers = %d, want GOMAXPROCS", got)
+	}
+	if got := (Config{Workers: 5}).WorkerCount(); got != 5 {
+		t.Fatalf("explicit workers = %d, want 5", got)
+	}
+}
+
+func TestChunkSizing(t *testing.T) {
+	if got := (Config{ChunkSize: 9}).chunkFor(1000, 4); got != 9 {
+		t.Fatalf("explicit chunk = %d, want 9", got)
+	}
+	if got := (Config{}).chunkFor(3, 8); got != 1 {
+		t.Fatalf("tiny-n chunk = %d, want 1", got)
+	}
+	if got := (Config{}).chunkFor(1600, 4); got != 100 {
+		t.Fatalf("auto chunk = %d, want 100", got)
+	}
+}

@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sourcecurrents/internal/dataset"
 	"sourcecurrents/internal/depen"
@@ -22,6 +23,35 @@ import (
 	"sourcecurrents/internal/truth"
 	"sourcecurrents/internal/winnow"
 )
+
+// Parallelism is the worker count every experiment's solver configurations
+// run with: 0 selects runtime.GOMAXPROCS(0), 1 forces sequential execution.
+// Results are identical at every setting (the engine guarantees
+// determinism); the knob exists so cmd/experiments and the benchmarks can
+// compare sequential against parallel wall-clock.
+var Parallelism int
+
+// truthConfig is truth.DefaultConfig with the package Parallelism applied.
+func truthConfig() truth.Config {
+	c := truth.DefaultConfig()
+	c.Parallelism = Parallelism
+	return c
+}
+
+// depenConfig is depen.DefaultConfig with the package Parallelism applied.
+func depenConfig() depen.Config {
+	c := depen.DefaultConfig()
+	c.Parallelism = Parallelism
+	return c
+}
+
+// temporalConfig is temporal.DefaultConfig with the package Parallelism
+// applied.
+func temporalConfig() temporal.Config {
+	c := temporal.DefaultConfig()
+	c.Parallelism = Parallelism
+	return c
+}
 
 // Report is one experiment's output.
 type Report struct {
@@ -63,19 +93,19 @@ func EX1Table1() *Report {
 	vote := truth.Vote(d)
 	voteAcc := eval.ChosenAccuracy(vote.Chosen, w)
 
-	accuRes, err := truth.Accu(d, truth.DefaultConfig())
+	accuRes, err := truth.Accu(d, truthConfig())
 	if err != nil {
 		panic(err)
 	}
 	accuAcc := eval.ChosenAccuracy(accuRes.Chosen, w)
 
-	cold, err := depen.Detect(d, depen.DefaultConfig())
+	cold, err := depen.Detect(d, depenConfig())
 	if err != nil {
 		panic(err)
 	}
 	coldAcc := eval.ChosenAccuracy(cold.Truth.Chosen, w)
 
-	cfg := depen.DefaultConfig()
+	cfg := depenConfig()
 	cfg.Truth.Known = knownTwo()
 	labeled, err := depen.Detect(d, cfg)
 	if err != nil {
@@ -159,7 +189,7 @@ func EX3Table3() *Report {
 	}
 	rep.Tables = append(rep.Tables, t)
 
-	res, err := temporal.DetectPairs(d, temporal.DefaultConfig())
+	res, err := temporal.DetectPairs(d, temporalConfig())
 	if err != nil {
 		panic(err)
 	}
@@ -178,22 +208,29 @@ func EX3Table3() *Report {
 
 // BookSim is the author-list similarity (with a representation threshold)
 // shared by the EX4 pipeline; memoized because the solvers call it in
-// inner loops.
+// inner loops. The memo is mutex-guarded: ValueSim callbacks are invoked
+// concurrently by the engine's workers when Parallelism > 1.
 func BookSim() func(a, b string) float64 {
+	var mu sync.Mutex
 	memo := map[[2]string]float64{}
 	return func(a, b string) float64 {
 		k := [2]string{a, b}
 		if a > b {
 			k = [2]string{b, a}
 		}
-		if v, ok := memo[k]; ok {
+		mu.Lock()
+		v, ok := memo[k]
+		mu.Unlock()
+		if ok {
 			return v
 		}
-		v := strsim.AuthorListSim(strsim.ParseAuthorList(a), strsim.ParseAuthorList(b))
+		v = strsim.AuthorListSim(strsim.ParseAuthorList(a), strsim.ParseAuthorList(b))
 		if v < 0.75 {
 			v = 0 // below representation-level similarity nothing leaks
 		}
+		mu.Lock()
 		memo[k] = v
+		mu.Unlock()
 		return v
 	}
 }
@@ -274,7 +311,7 @@ func EX4AbeBooks(cfg EX4Config) *Report {
 
 	// Dependence discovery on raw surface forms with representation-aware
 	// truth discovery.
-	dcfg := depen.DefaultConfig()
+	dcfg := depenConfig()
 	dcfg.MinShared = cfg.Books.MinSharedForDep
 	dcfg.MaxRounds = cfg.MaxRounds
 	dcfg.Truth.ValueSim = BookSim()
@@ -416,7 +453,7 @@ func EX5CopySweep(seed int64, nObjects int) *Report {
 			if err != nil {
 				panic(err)
 			}
-			res, err := depen.Detect(sw.Dataset, depen.DefaultConfig())
+			res, err := depen.Detect(sw.Dataset, depenConfig())
 			if err != nil {
 				panic(err)
 			}
@@ -459,11 +496,11 @@ func EX6TruthSweep(seed int64, nObjects int) *Report {
 			panic(err)
 		}
 		vote := truth.Vote(sw.Dataset)
-		accuRes, err := truth.Accu(sw.Dataset, truth.DefaultConfig())
+		accuRes, err := truth.Accu(sw.Dataset, truthConfig())
 		if err != nil {
 			panic(err)
 		}
-		dres, err := depen.Detect(sw.Dataset, depen.DefaultConfig())
+		dres, err := depen.Detect(sw.Dataset, depenConfig())
 		if err != nil {
 			panic(err)
 		}
@@ -502,7 +539,7 @@ func EX7TemporalSweep(seed int64, nObjects int) *Report {
 			if err != nil {
 				panic(err)
 			}
-			cfg := temporal.DefaultConfig()
+			cfg := temporalConfig()
 			cfg.Window = lag + 4
 			res, err := temporal.DetectPairs(tw.Dataset, cfg)
 			if err != nil {
@@ -540,7 +577,7 @@ func EX8QueryOrder(seed int64) *Report {
 	if err != nil {
 		panic(err)
 	}
-	dres, err := depen.Detect(sw.Dataset, depen.DefaultConfig())
+	dres, err := depen.Detect(sw.Dataset, depenConfig())
 	if err != nil {
 		panic(err)
 	}
@@ -647,7 +684,7 @@ func EX10Winnow(seed int64, nObjects int) *Report {
 	}
 	wprf := eval.PairPRF(wdet, truthPairs)
 
-	dres, err := depen.Detect(sw.Dataset, depen.DefaultConfig())
+	dres, err := depen.Detect(sw.Dataset, depenConfig())
 	if err != nil {
 		panic(err)
 	}
@@ -671,7 +708,7 @@ func EX10Winnow(seed int64, nObjects int) *Report {
 func RecommendDemo() *Report {
 	rep := &Report{ID: "EX11", Title: "source recommendation (trust and diversity modes)"}
 	d := dataset.Table1()
-	cfg := depen.DefaultConfig()
+	cfg := depenConfig()
 	cfg.Truth.Known = knownTwo()
 	dres, err := depen.Detect(d, cfg)
 	if err != nil {

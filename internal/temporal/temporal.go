@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/engine"
 	"sourcecurrents/internal/model"
 	"sourcecurrents/internal/stats"
 )
@@ -229,6 +230,15 @@ type Config struct {
 	MinSharedUpdates int
 	// DepThreshold is the posterior above which a pair is reported.
 	DepThreshold float64
+	// Parallelism is the worker count for the O(S²) pairwise scoring loop.
+	// Values <= 0 select runtime.GOMAXPROCS(0); 1 reproduces sequential
+	// execution exactly. Results are bit-identical at every setting.
+	Parallelism int
+}
+
+// Engine returns the execution-engine configuration for this detector.
+func (c Config) Engine() engine.Config {
+	return engine.Config{Workers: c.Parallelism}
 }
 
 // DefaultConfig returns the parameters used by the experiments.
@@ -375,15 +385,22 @@ func DetectPairs(d *dataset.Dataset, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Score every pair in parallel (workers only read the shared trace and
+	// popularity indexes), then merge in the canonical pair order.
+	type verdict struct {
+		dep Dependence
+		ok  bool
+	}
+	verdicts := engine.MapPairs(cfg.Engine(), len(sources), func(i, j int) verdict {
+		dep, ok := scorePair(sources[i], sources[j], traces, popularity, len(sources), qCov, cfg)
+		return verdict{dep: dep, ok: ok}
+	})
 	res := &Result{}
-	for i := 0; i < len(sources); i++ {
-		for j := i + 1; j < len(sources); j++ {
-			dep, ok := scorePair(sources[i], sources[j], traces, popularity, len(sources), qCov, cfg)
-			if !ok {
-				continue
-			}
-			res.AllPairs = append(res.AllPairs, dep)
+	for _, v := range verdicts {
+		if !v.ok {
+			continue
 		}
+		res.AllPairs = append(res.AllPairs, v.dep)
 	}
 	sort.Slice(res.AllPairs, func(a, b int) bool {
 		if res.AllPairs[a].Prob != res.AllPairs[b].Prob {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/engine"
 	"sourcecurrents/internal/model"
 )
 
@@ -16,10 +17,16 @@ import (
 
 // WindowedConfig parameterizes DetectOverWindows.
 type WindowedConfig struct {
-	// Pair is the per-window detection configuration.
+	// Pair is the per-window detection configuration. Its Parallelism knob
+	// applies within each window's pairwise scoring.
 	Pair Config
 	// WindowSpan is the width of each analysis window; Step the stride.
 	WindowSpan, Step model.Time
+	// Parallelism is the worker count for analyzing distinct windows
+	// concurrently. Values <= 0 select runtime.GOMAXPROCS(0); 1 reproduces
+	// sequential execution exactly. Results are bit-identical at every
+	// setting: windows are merged in time order.
+	Parallelism int
 }
 
 // DefaultWindowedConfig covers a trace in four to six windows with 50%
@@ -94,31 +101,46 @@ func DetectOverWindows(d *dataset.Dataset, cfg WindowedConfig) (*WindowedResult,
 	if !ok {
 		return nil, errors.New("temporal: dataset has no timestamped claims")
 	}
-	acc := map[model.SourcePair][]WindowVerdict{}
+	// Enumerate window starts up front so the windows — each an independent
+	// slice-and-detect — can run in parallel; the merge below walks them in
+	// time order, keeping the result identical to the sequential loop.
+	var starts []model.Time
 	for start := lo; start <= hi; start += cfg.Step {
-		end := start + cfg.WindowSpan
-		sub, err := sliceWindow(d, start, end)
-		if err != nil {
-			return nil, err
-		}
-		verdictByPair := map[model.SourcePair]float64{}
-		analyzed := map[model.SourcePair]bool{}
-		if sub.Len() > 0 {
-			res, err := DetectPairs(sub, cfg.Pair)
-			if err != nil {
-				return nil, err
-			}
-			for _, dep := range res.AllPairs {
-				verdictByPair[dep.Pair] = dep.Prob
-				analyzed[dep.Pair] = true
-			}
-		}
-		// Record a verdict for every pair seen so far or in this window.
-		for p := range analyzed {
-			acc[p] = append(acc[p], WindowVerdict{Start: start, End: end, Prob: verdictByPair[p], Analyzed: true})
-		}
-		if end > hi {
+		starts = append(starts, start)
+		if start+cfg.WindowSpan > hi {
 			break
+		}
+	}
+	type windowOut struct {
+		verdicts map[model.SourcePair]float64
+		err      error
+	}
+	eng := engine.Config{Workers: cfg.Parallelism}
+	outs := engine.MapObjects(eng, starts, func(start model.Time) windowOut {
+		sub, err := sliceWindow(d, start, start+cfg.WindowSpan)
+		if err != nil {
+			return windowOut{err: err}
+		}
+		if sub.Len() == 0 {
+			return windowOut{}
+		}
+		res, err := DetectPairs(sub, cfg.Pair)
+		if err != nil {
+			return windowOut{err: err}
+		}
+		verdicts := make(map[model.SourcePair]float64, len(res.AllPairs))
+		for _, dep := range res.AllPairs {
+			verdicts[dep.Pair] = dep.Prob
+		}
+		return windowOut{verdicts: verdicts}
+	})
+	acc := map[model.SourcePair][]WindowVerdict{}
+	for i, start := range starts {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		for p, prob := range outs[i].verdicts {
+			acc[p] = append(acc[p], WindowVerdict{Start: start, End: start + cfg.WindowSpan, Prob: prob, Analyzed: true})
 		}
 	}
 	res := &WindowedResult{}

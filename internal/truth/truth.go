@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/engine"
 	"sourcecurrents/internal/model"
 	"sourcecurrents/internal/stats"
 )
@@ -106,7 +107,9 @@ type Config struct {
 	// ValueSim, when non-nil, enables the similarity extension: a value
 	// receives ValueSimWeight times the similarity-weighted scores of the
 	// other candidates (captures "UW" vs "Univ. of Washington" support
-	// leakage). Similarity must be in [0, 1].
+	// leakage). Similarity must be in [0, 1]. With Parallelism != 1 the
+	// function is invoked concurrently from multiple workers, so any
+	// internal state (e.g. a memoization cache) must be synchronized.
 	ValueSim func(a, b string) float64
 	// ValueSimWeight scales the similarity contribution (0 disables).
 	ValueSimWeight float64
@@ -118,6 +121,17 @@ type Config struct {
 	// KnownConfidence is the pinned probability for labeled values
 	// (default 0.99 when Known is non-empty and this is zero).
 	KnownConfidence float64
+	// Parallelism is the worker count for the per-object scoring loop.
+	// Values <= 0 select runtime.GOMAXPROCS(0); 1 reproduces sequential
+	// execution exactly. Results are bit-identical at every setting: each
+	// object's posterior is computed independently and merged in canonical
+	// object order.
+	Parallelism int
+}
+
+// Engine returns the execution-engine configuration for this solver.
+func (c Config) Engine() engine.Config {
+	return engine.Config{Workers: c.Parallelism}
 }
 
 // knownConfidence returns the effective pin probability.
@@ -363,12 +377,20 @@ func Accu(d *dataset.Dataset, cfg Config) (*Result, error) {
 		acc[s] = cfg.InitialAccuracy
 	}
 	res := &Result{}
+	objects := d.Objects()
+	eng := cfg.Engine()
 	for round := 1; round <= cfg.MaxRounds; round++ {
-		probs := make(map[model.ObjectID]map[string]float64, len(d.Objects()))
-		for _, o := range d.Objects() {
+		// Score objects in parallel; workers only read the shared accuracy
+		// map and write their own slot, and the merge below iterates in
+		// canonical object order, so the result is worker-count invariant.
+		scored := engine.MapObjects(eng, objects, func(o model.ObjectID) map[string]float64 {
 			scores := ScoreValues(d.ValuesFor(o), acc, cfg.N, nil)
 			scores = ApplySimilarity(scores, cfg.ValueSim, cfg.ValueSimWeight)
-			probs[o] = cfg.ApplyKnown(o, SoftmaxScores(scores))
+			return cfg.ApplyKnown(o, SoftmaxScores(scores))
+		})
+		probs := make(map[model.ObjectID]map[string]float64, len(objects))
+		for i, o := range objects {
+			probs[o] = scored[i]
 		}
 		next := UpdateAccuracySim(d, probs, cfg.PriorA, cfg.PriorB, cfg.ValueSim)
 		res.Probs = probs

@@ -1,0 +1,119 @@
+// Race-detector coverage: drive every parallel hot path with more workers
+// than cores on workloads large enough that chunks genuinely interleave, so
+// `go test -race` exercises the engine's sharing discipline (read-only
+// inputs, index-addressed writes). Skipped in -short mode.
+package sourcecurrents_test
+
+import (
+	"sync"
+	"testing"
+
+	"sourcecurrents"
+	"sourcecurrents/internal/synth"
+)
+
+// memoizingSim is a stateful ValueSim of the kind the config docs require
+// to be synchronized; it mirrors experiments.BookSim's structure.
+func memoizingSim() func(a, b string) float64 {
+	var mu sync.Mutex
+	memo := map[[2]string]float64{}
+	return func(a, b string) float64 {
+		k := [2]string{a, b}
+		if a > b {
+			k = [2]string{b, a}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		var v float64
+		if len(a) > 0 && len(b) > 0 && a[0] == b[0] {
+			v = 0.3
+		}
+		memo[k] = v
+		return v
+	}
+}
+
+func raceSnapshotDataset(t *testing.T) *sourcecurrents.Dataset {
+	t.Helper()
+	sw, err := synth.GenerateSnapshot(synth.SnapshotConfig{
+		Seed:           77,
+		NObjects:       150,
+		IndependentAcc: []float64{0.9, 0.85, 0.8, 0.75, 0.7, 0.65, 0.6, 0.55},
+		Copiers: []synth.CopierSpec{
+			{MasterIndex: 0, CopyRate: 0.9, OwnAcc: 0.6},
+			{MasterIndex: 3, CopyRate: 0.7, OwnAcc: 0.7},
+			{MasterIndex: 5, CopyRate: 0.8, OwnAcc: 0.5},
+		},
+		FalsePool: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw.Dataset
+}
+
+func TestParallelPathsUnderRaceDetector(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race workload skipped in short mode")
+	}
+	d := raceSnapshotDataset(t)
+
+	tcfg := sourcecurrents.DefaultTruthConfig()
+	tcfg.Parallelism = 16
+	if _, err := sourcecurrents.DiscoverTruth(d, tcfg); err != nil {
+		t.Fatal(err)
+	}
+
+	dcfg := sourcecurrents.DefaultDependenceConfig()
+	dcfg.Parallelism = 16
+	if _, err := sourcecurrents.DetectDependence(d, dcfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// ValueSim is the one user-supplied callback the workers share; drive
+	// it with a (synchronized) memoizing implementation — the shape EX4's
+	// BookSim uses — so -race watches the ApplySimilarity/ClassMass path.
+	scfg := sourcecurrents.DefaultDependenceConfig()
+	scfg.Parallelism = 16
+	scfg.Truth.ValueSim = memoizingSim()
+	scfg.Truth.ValueSimWeight = 0.2
+	if _, err := sourcecurrents.DetectDependence(d, scfg); err != nil {
+		t.Fatal(err)
+	}
+
+	tw, err := synth.GenerateTemporal(synth.TemporalConfig{
+		Seed:       78,
+		NObjects:   60,
+		Horizon:    80,
+		ChangeRate: 0.1,
+		Publishers: []synth.PublisherSpec{
+			{CaptureProb: 0.9, MaxDelay: 2},
+			{CaptureProb: 0.8, MaxDelay: 3},
+			{CaptureProb: 0.7, MaxDelay: 4},
+			{CaptureProb: 0.85, MaxDelay: 2},
+			{CaptureProb: 0.75, MaxDelay: 3},
+		},
+		LazyCopiers: []synth.LazyCopierSpec{
+			{MasterIndex: 0, CopyProb: 0.8, MinLag: 1, MaxLag: 4},
+			{MasterIndex: 1, CopyProb: 0.7, MinLag: 1, MaxLag: 5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := sourcecurrents.DefaultTemporalConfig()
+	mcfg.Parallelism = 16
+	if _, err := sourcecurrents.DetectTemporalDependence(tw.Dataset, mcfg); err != nil {
+		t.Fatal(err)
+	}
+
+	wcfg := sourcecurrents.DefaultWindowedTemporalConfig()
+	wcfg.Parallelism = 8
+	wcfg.Pair.Parallelism = 4
+	if _, err := sourcecurrents.DetectTemporalOverWindows(tw.Dataset, wcfg); err != nil {
+		t.Fatal(err)
+	}
+}

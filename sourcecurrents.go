@@ -33,6 +33,7 @@ import (
 	"sourcecurrents/internal/dataset"
 	"sourcecurrents/internal/depen"
 	"sourcecurrents/internal/dissim"
+	"sourcecurrents/internal/engine"
 	"sourcecurrents/internal/fusion"
 	"sourcecurrents/internal/linkage"
 	"sourcecurrents/internal/model"
@@ -61,6 +62,18 @@ type (
 	// Dataset is the indexed claim store all solvers consume.
 	Dataset = dataset.Dataset
 )
+
+// Parallel execution. Every iterative solver config (TruthConfig,
+// DependenceConfig, TemporalConfig, WindowedTemporalConfig) carries a
+// Parallelism knob: the worker count for its hot loop. Values <= 0 select
+// DefaultParallelism(); 1 forces sequential execution. Results are
+// bit-identical at every setting — workers write index-addressed slots and
+// merges run in canonical source/object order — so parallelism is purely a
+// throughput knob.
+
+// DefaultParallelism returns the worker count a non-positive Parallelism
+// resolves to: runtime.GOMAXPROCS(0).
+func DefaultParallelism() int { return engine.DefaultWorkers() }
 
 // Obj constructs an ObjectID.
 func Obj(entity, attribute string) ObjectID { return model.Obj(entity, attribute) }
