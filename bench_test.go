@@ -15,24 +15,28 @@ import (
 )
 
 func BenchmarkEX1Table1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = experiments.EX1Table1()
 	}
 }
 
 func BenchmarkEX2Table2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = experiments.EX2Table2()
 	}
 }
 
 func BenchmarkEX3Table3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = experiments.EX3Table3()
 	}
 }
 
 func BenchmarkEX4AbeBooksSmall(b *testing.B) {
+	b.ReportAllocs()
 	cfg := experiments.SmallEX4Config()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -41,6 +45,7 @@ func BenchmarkEX4AbeBooksSmall(b *testing.B) {
 }
 
 func BenchmarkEX4AbeBooksFull(b *testing.B) {
+	b.ReportAllocs()
 	if testing.Short() {
 		b.Skip("full Example 4.1 scale")
 	}
@@ -52,36 +57,42 @@ func BenchmarkEX4AbeBooksFull(b *testing.B) {
 }
 
 func BenchmarkEX5CopySweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = experiments.EX5CopySweep(11, 200)
 	}
 }
 
 func BenchmarkEX6TruthSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = experiments.EX6TruthSweep(13, 200)
 	}
 }
 
 func BenchmarkEX7TemporalSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = experiments.EX7TemporalSweep(17, 50)
 	}
 }
 
 func BenchmarkEX8QueryOrder(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = experiments.EX8QueryOrder(19)
 	}
 }
 
 func BenchmarkEX9DissimSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = experiments.EX9DissimSweep(23)
 	}
 }
 
 func BenchmarkEX10Winnow(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = experiments.EX10Winnow(29, 200)
 	}
@@ -127,6 +138,7 @@ var benchSizes = []struct {
 func benchmarkAccu(b *testing.B, parallelism int) {
 	for _, sz := range benchSizes {
 		b.Run(fmt.Sprintf("sources=%d", sz.sources), func(b *testing.B) {
+			b.ReportAllocs()
 			if testing.Short() && !sz.short {
 				b.Skip("large scale skipped in short mode")
 			}
@@ -149,6 +161,7 @@ func BenchmarkAccuParallel(b *testing.B)   { benchmarkAccu(b, 0) }
 func benchmarkDetect(b *testing.B, parallelism int) {
 	for _, sz := range benchSizes {
 		b.Run(fmt.Sprintf("sources=%d", sz.sources), func(b *testing.B) {
+			b.ReportAllocs()
 			if testing.Short() && !sz.short {
 				b.Skip("large scale skipped in short mode")
 			}
@@ -172,6 +185,7 @@ func BenchmarkDetectSequential(b *testing.B) { benchmarkDetect(b, 1) }
 func BenchmarkDetectParallel(b *testing.B)   { benchmarkDetect(b, 0) }
 
 func benchmarkTemporal(b *testing.B, parallelism int) {
+	b.ReportAllocs()
 	tw, err := synth.GenerateTemporal(synth.TemporalConfig{
 		Seed:       41,
 		NObjects:   50,

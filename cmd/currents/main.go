@@ -15,6 +15,9 @@
 //	    dissimilarity-dependence on Good/Neutral/Bad ratings
 //	currents recommend [-k N] file.csv
 //	    trust-ranked source recommendation
+//
+// Every subcommand also accepts -cpuprofile FILE and -memprofile FILE to
+// write pprof evidence for performance work.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 
 	"sourcecurrents"
 	"sourcecurrents/internal/eval"
+	"sourcecurrents/internal/profiling"
 )
 
 func main() {
@@ -76,10 +80,15 @@ func runDetect(args []string) error {
 	minShared := fs.Int("min-shared", 2, "minimum shared objects per analyzed pair")
 	threshold := fs.Float64("threshold", 0.5, "dependence posterior threshold")
 	parallelism := fs.Int("parallelism", 0, "worker count (0 = all cores, 1 = sequential)")
+	prof := profiling.Register(fs)
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Finish()
 	d, err := loadDataset(fs.Arg(0))
 	if err != nil {
 		return err
@@ -112,10 +121,15 @@ func runTruth(args []string) error {
 	fs := flag.NewFlagSet("truth", flag.ExitOnError)
 	method := fs.String("method", "depen", "vote, accu or depen")
 	parallelism := fs.Int("parallelism", 0, "worker count (0 = all cores, 1 = sequential)")
+	prof := profiling.Register(fs)
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Finish()
 	d, err := loadDataset(fs.Arg(0))
 	if err != nil {
 		return err
@@ -156,10 +170,15 @@ func runTemporal(args []string) error {
 	fs := flag.NewFlagSet("temporal", flag.ExitOnError)
 	window := fs.Int64("window", 5, "maximum copy lag")
 	parallelism := fs.Int("parallelism", 0, "worker count (0 = all cores, 1 = sequential)")
+	prof := profiling.Register(fs)
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Finish()
 	d, err := loadDataset(fs.Arg(0))
 	if err != nil {
 		return err
@@ -180,10 +199,15 @@ func runTemporal(args []string) error {
 
 func runDissim(args []string) error {
 	fs := flag.NewFlagSet("dissim", flag.ExitOnError)
+	prof := profiling.Register(fs)
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Finish()
 	d, err := loadDataset(fs.Arg(0))
 	if err != nil {
 		return err
@@ -202,10 +226,15 @@ func runDissim(args []string) error {
 func runRecommend(args []string) error {
 	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
 	k := fs.Int("k", 5, "number of sources to recommend")
+	prof := profiling.Register(fs)
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Finish()
 	d, err := loadDataset(fs.Arg(0))
 	if err != nil {
 		return err

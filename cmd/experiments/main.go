@@ -3,12 +3,12 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only EX4] [-parallelism N]
+//	experiments [-quick] [-only EX4] [-parallelism N] [-cpuprofile f] [-memprofile f]
 //
 // -quick runs EX4 at reduced scale (seconds instead of ~10s) and smaller
 // sweeps; -only selects a single experiment by id; -parallelism sets the
 // solver worker count (0 = all cores, 1 = sequential; results are identical
-// either way).
+// either way); -cpuprofile/-memprofile write pprof evidence for perf work.
 package main
 
 import (
@@ -19,14 +19,21 @@ import (
 	"time"
 
 	"sourcecurrents/internal/experiments"
+	"sourcecurrents/internal/profiling"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-scale variants")
 	only := flag.String("only", "", "run a single experiment (e.g. EX4)")
 	parallelism := flag.Int("parallelism", 0, "solver worker count (0 = all cores, 1 = sequential)")
+	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
 	experiments.Parallelism = *parallelism
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer prof.Finish()
 
 	sweepObjects := 400
 	if *quick {
@@ -65,6 +72,7 @@ func main() {
 		fmt.Printf("(%s completed in %v)\n\n", r.id, time.Since(start).Round(time.Millisecond))
 	}
 	if !any {
+		prof.Finish() // os.Exit skips deferred calls
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(1)
 	}

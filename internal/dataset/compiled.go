@@ -1,0 +1,263 @@
+// Compiled columnar view of a frozen dataset.
+//
+// The iterative solvers spend their time in loops over (object, value,
+// source) triples and (source, source) pairs; running those loops over
+// string-keyed maps dominates their profile. Compile interns every SourceID,
+// ObjectID and value string into a dense int32 index and lays the snapshot
+// and temporal views out as CSR-style slices, so the hot paths become
+// pointer-free scans over contiguous memory.
+//
+// All three interning tables are built in sorted order, which makes integer
+// index comparison equivalent to the string comparisons the map-based
+// helpers sort by — the property that keeps the compiled solvers
+// bit-identical to the map-based reference implementations (iteration and
+// summation order is preserved exactly, including for the ValueSim
+// similarity classes, whose per-object candidate enumeration follows the
+// same sorted-value order).
+package dataset
+
+import (
+	"sort"
+
+	"sourcecurrents/internal/model"
+)
+
+// Compiled is the dense, interned, read-only view of a frozen Dataset.
+// Build it with Dataset.Compiled(); all fields are shared and must not be
+// mutated.
+type Compiled struct {
+	// Interning tables, each sorted, so index order == string order.
+	Sources []model.SourceID
+	Objects []model.ObjectID
+	Values  []string
+
+	// Per-object candidate value groups (snapshot view), CSR. Object oi's
+	// groups occupy global group indexes GroupStart[oi]..GroupStart[oi+1],
+	// ordered by value; group g's asserting sources (deduped, ascending)
+	// occupy GroupSrc[GroupSrcStart[g]:GroupSrcStart[g+1]].
+	GroupStart    []int32
+	GroupValue    []int32
+	GroupSrcStart []int32
+	GroupSrc      []int32
+
+	// Per-source snapshot claims, CSR, objects ascending. SrcGroup[k] is the
+	// global group index holding the value source si asserts for SrcObj[k].
+	SrcStart []int32
+	SrcObj   []int32
+	SrcVal   []int32
+	SrcGroup []int32
+
+	// Per-source temporal spans, CSR, sorted by key. SpanKey packs
+	// (object index << 32 | value index), so int64 order equals the
+	// (entity, attribute, value) order the temporal matcher sorts by.
+	// SpanFirst/SpanLast are the first and last assertion times of the
+	// (object, value) in the source's update trace.
+	SpanStart []int32
+	SpanKey   []int64
+	SpanFirst []model.Time
+	SpanLast  []model.Time
+
+	// Popularity of each distinct timestamped (object, value) assertion:
+	// PopCount[k] sources ever assert PopKey[k]. Sorted by key.
+	PopKey   []int64
+	PopCount []int32
+
+	maxGroups int
+	srcIdx    map[model.SourceID]int32
+	objIdx    map[model.ObjectID]int32
+	valIdx    map[string]int32
+}
+
+// Compiled returns the compiled columnar view, building it on first use
+// (subsequent calls return the cached view). It returns nil before Freeze.
+// The build is safe for concurrent callers.
+func (d *Dataset) Compiled() *Compiled {
+	if !d.frozen {
+		return nil
+	}
+	d.compileOnce.Do(func() { d.compiled = compile(d) })
+	return d.compiled
+}
+
+func compile(d *Dataset) *Compiled {
+	c := &Compiled{
+		Sources: d.sources,
+		Objects: d.objects,
+	}
+	c.srcIdx = make(map[model.SourceID]int32, len(c.Sources))
+	for i, s := range c.Sources {
+		c.srcIdx[s] = int32(i)
+	}
+	c.objIdx = make(map[model.ObjectID]int32, len(c.Objects))
+	for i, o := range c.Objects {
+		c.objIdx[o] = int32(i)
+	}
+
+	// Intern every claim value, sorted so index order == string order.
+	seen := make(map[string]struct{}, len(d.claims))
+	for _, cl := range d.claims {
+		seen[cl.Value] = struct{}{}
+	}
+	c.Values = make([]string, 0, len(seen))
+	for v := range seen {
+		c.Values = append(c.Values, v)
+	}
+	sort.Strings(c.Values)
+	c.valIdx = make(map[string]int32, len(c.Values))
+	for i, v := range c.Values {
+		c.valIdx[v] = int32(i)
+	}
+
+	c.buildGroups(d)
+	c.buildSourceClaims(d)
+	c.buildSpans(d)
+	return c
+}
+
+// buildGroups lays out the per-object candidate value groups. ValuesFor
+// already returns groups in sorted-value order with deduped ascending
+// sources, which is exactly the canonical order the solvers iterate in.
+func (c *Compiled) buildGroups(d *Dataset) {
+	c.GroupStart = make([]int32, len(c.Objects)+1)
+	c.GroupSrcStart = append(c.GroupSrcStart, 0)
+	for oi, o := range c.Objects {
+		groups := d.ValuesFor(o)
+		if len(groups) > c.maxGroups {
+			c.maxGroups = len(groups)
+		}
+		for _, g := range groups {
+			c.GroupValue = append(c.GroupValue, c.valIdx[g.Value])
+			for _, s := range g.Sources {
+				c.GroupSrc = append(c.GroupSrc, c.srcIdx[s])
+			}
+			c.GroupSrcStart = append(c.GroupSrcStart, int32(len(c.GroupSrc)))
+		}
+		c.GroupStart[oi+1] = int32(len(c.GroupValue))
+	}
+}
+
+// buildSourceClaims lays out each source's snapshot claims with the global
+// group index of each asserted value.
+func (c *Compiled) buildSourceClaims(d *Dataset) {
+	c.SrcStart = make([]int32, len(c.Sources)+1)
+	for si, s := range c.Sources {
+		for _, o := range d.ObjectsOf(s) {
+			v, ok := d.Value(s, o)
+			if !ok {
+				continue
+			}
+			oi := c.objIdx[o]
+			vi := c.valIdx[v]
+			c.SrcObj = append(c.SrcObj, oi)
+			c.SrcVal = append(c.SrcVal, vi)
+			c.SrcGroup = append(c.SrcGroup, c.findGroup(oi, vi))
+		}
+		c.SrcStart[si+1] = int32(len(c.SrcObj))
+	}
+}
+
+// findGroup locates the group of object oi holding value vi by binary search
+// over the object's value-sorted groups.
+func (c *Compiled) findGroup(oi, vi int32) int32 {
+	lo, hi := c.GroupStart[oi], c.GroupStart[oi+1]
+	vals := c.GroupValue[lo:hi]
+	k := sort.Search(len(vals), func(i int) bool { return vals[i] >= vi })
+	return lo + int32(k)
+}
+
+// buildSpans collapses each source's update trace into per-(object, value)
+// first/last assertion spans, sorted by packed key, and tallies how many
+// sources ever make each assertion (the temporal rarity denominator).
+func (c *Compiled) buildSpans(d *Dataset) {
+	c.SpanStart = make([]int32, len(c.Sources)+1)
+	pop := map[int64]int32{}
+	type span struct{ first, last model.Time }
+	for si, s := range c.Sources {
+		spans := map[int64]span{}
+		for _, idx := range d.bySource[s] {
+			cl := d.claims[idx]
+			if !cl.HasTime {
+				continue
+			}
+			key := int64(c.objIdx[cl.Object])<<32 | int64(c.valIdx[cl.Value])
+			sp, ok := spans[key]
+			if !ok {
+				spans[key] = span{first: cl.Time, last: cl.Time}
+				continue
+			}
+			if cl.Time < sp.first {
+				sp.first = cl.Time
+			}
+			if cl.Time > sp.last {
+				sp.last = cl.Time
+			}
+			spans[key] = sp
+		}
+		keys := make([]int64, 0, len(spans))
+		for k := range spans {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, k := range keys {
+			sp := spans[k]
+			c.SpanKey = append(c.SpanKey, k)
+			c.SpanFirst = append(c.SpanFirst, sp.first)
+			c.SpanLast = append(c.SpanLast, sp.last)
+			pop[k]++
+		}
+		c.SpanStart[si+1] = int32(len(c.SpanKey))
+	}
+	c.PopKey = make([]int64, 0, len(pop))
+	for k := range pop {
+		c.PopKey = append(c.PopKey, k)
+	}
+	sort.Slice(c.PopKey, func(a, b int) bool { return c.PopKey[a] < c.PopKey[b] })
+	c.PopCount = make([]int32, len(c.PopKey))
+	for i, k := range c.PopKey {
+		c.PopCount[i] = pop[k]
+	}
+}
+
+// MaxGroupsPerObject returns the largest candidate-value count over all
+// objects; solvers size their per-worker scratch buffers with it.
+func (c *Compiled) MaxGroupsPerObject() int { return c.maxGroups }
+
+// MaxSourcesPerGroup returns the largest asserting-source count over all
+// value groups.
+func (c *Compiled) MaxSourcesPerGroup() int {
+	max := 0
+	for g := 0; g+1 < len(c.GroupSrcStart); g++ {
+		if n := int(c.GroupSrcStart[g+1] - c.GroupSrcStart[g]); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// SourceIndex returns the dense index of s.
+func (c *Compiled) SourceIndex(s model.SourceID) (int32, bool) {
+	i, ok := c.srcIdx[s]
+	return i, ok
+}
+
+// ObjectIndex returns the dense index of o.
+func (c *Compiled) ObjectIndex(o model.ObjectID) (int32, bool) {
+	i, ok := c.objIdx[o]
+	return i, ok
+}
+
+// ValueIndex returns the dense index of value v.
+func (c *Compiled) ValueIndex(v string) (int32, bool) {
+	i, ok := c.valIdx[v]
+	return i, ok
+}
+
+// PopularityOf returns how many sources ever assert the timestamped
+// (object, value) packed key, by binary search.
+func (c *Compiled) PopularityOf(key int64) int32 {
+	k := sort.Search(len(c.PopKey), func(i int) bool { return c.PopKey[i] >= key })
+	if k < len(c.PopKey) && c.PopKey[k] == key {
+		return c.PopCount[k]
+	}
+	return 0
+}

@@ -12,6 +12,7 @@ package dataset
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sourcecurrents/internal/model"
 )
@@ -32,6 +33,10 @@ type Dataset struct {
 	sources []model.SourceID
 	objects []model.ObjectID
 	frozen  bool
+
+	// compiled is the lazily built columnar view (see compiled.go).
+	compileOnce sync.Once
+	compiled    *Compiled
 }
 
 // New returns an empty dataset.

@@ -1,0 +1,289 @@
+// Dense (compiled-index) execution of the ACCUCOPY loop.
+//
+// detectCompiled re-expresses detectMaps over dataset.Compiled: candidate
+// overlaps become flat int32 slices built by merge-joining the per-source
+// claim lists, the directional posteriors become a flat source×source
+// table, and the per-object discount factors are ranked once per (group,
+// round) over dense accuracy vectors. Iteration and summation orders match
+// the reference path exactly, so results are bit-identical (enforced by the
+// golden equivalence tests).
+package depen
+
+import (
+	"math"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/engine"
+	"sourcecurrents/internal/model"
+	"sourcecurrents/internal/stats"
+	"sourcecurrents/internal/truth"
+)
+
+// pairCand is one candidate pair with its overlap stored as a slice
+// [off, off+n) of the shared flat overlap arrays.
+type pairCand struct {
+	a, b   int32
+	off, n int32
+	same   int32
+}
+
+// overlaps holds every candidate's shared objects in three parallel flat
+// arrays: the object index and each member's global value-group index.
+type overlaps struct {
+	obj, ag, bg []int32
+}
+
+// depenScratch is one worker's buffers for both the per-object truth step
+// (score + rank + discount factors) and the per-pair Bayes step.
+type depenScratch struct {
+	ds   *truth.DenseScratch
+	rank []int32
+	fac  []float64
+	logs [3]float64
+	post [3]float64
+}
+
+// buildCandidates merge-joins every source pair's sorted claim lists,
+// keeping pairs with at least minShared shared objects — the dense
+// equivalent of Dataset.Pairs, in the same (i asc, j asc) order.
+func buildCandidates(c *dataset.Compiled, minShared int) ([]pairCand, overlaps) {
+	var cands []pairCand
+	var ov overlaps
+	nS := len(c.Sources)
+	for i := 0; i < nS; i++ {
+		ai, ae := c.SrcStart[i], c.SrcStart[i+1]
+		for j := i + 1; j < nS; j++ {
+			bi, be := c.SrcStart[j], c.SrcStart[j+1]
+			off := int32(len(ov.obj))
+			var same int32
+			p, q := ai, bi
+			for p < ae && q < be {
+				switch {
+				case c.SrcObj[p] < c.SrcObj[q]:
+					p++
+				case c.SrcObj[p] > c.SrcObj[q]:
+					q++
+				default:
+					ov.obj = append(ov.obj, c.SrcObj[p])
+					ov.ag = append(ov.ag, c.SrcGroup[p])
+					ov.bg = append(ov.bg, c.SrcGroup[q])
+					if c.SrcGroup[p] == c.SrcGroup[q] {
+						same++
+					}
+					p++
+					q++
+				}
+			}
+			n := int32(len(ov.obj)) - off
+			if int(n) < minShared {
+				ov.obj = ov.obj[:off]
+				ov.ag = ov.ag[:off]
+				ov.bg = ov.bg[:off]
+				continue
+			}
+			cands = append(cands, pairCand{a: int32(i), b: int32(j), off: off, n: n, same: same})
+		}
+	}
+	return cands, ov
+}
+
+// fillFactorsDense mirrors discountTable.fillFactors: rank the group's
+// sources by (accuracy desc, index asc) and charge each one the probability
+// it did not copy from any higher-ranked source. The returned factors are
+// positioned to match srcs (the group's ascending-id order).
+func fillFactorsDense(srcs []int32, acc, depTab []float64, nS int, copyRate float64,
+	sc *depenScratch) []float64 {
+	k := len(srcs)
+	rank := sc.rank[:k]
+	for i := range rank {
+		rank[i] = int32(i)
+	}
+	// Insertion sort: the comparator is a strict total order (ids are
+	// distinct), so any comparison sort yields the reference permutation.
+	for i := 1; i < k; i++ {
+		r := rank[i]
+		j := i - 1
+		for j >= 0 {
+			p, q := r, rank[j]
+			ap, aq := acc[srcs[p]], acc[srcs[q]]
+			if ap != aq {
+				if !(ap > aq) {
+					break
+				}
+			} else if !(srcs[p] < srcs[q]) {
+				break
+			}
+			rank[j+1] = rank[j]
+			j--
+		}
+		rank[j+1] = r
+	}
+	fac := sc.fac[:k]
+	for r := 0; r < k; r++ {
+		p := rank[r]
+		f := 1.0
+		base := int(srcs[p]) * nS
+		for q := 0; q < r; q++ {
+			dep := depTab[base+int(srcs[rank[q]])]
+			if dep > 1 {
+				dep = 1
+			}
+			f *= 1 - copyRate*dep
+		}
+		fac[p] = f
+	}
+	return fac
+}
+
+// scoreObjectDiscounted is truth.ScoreValues with the dependence discount
+// over the dense view: per candidate, sum each source's weight times its
+// independence factor, in ascending source order.
+func scoreObjectDiscounted(c *dataset.Compiled, oi int, weights, acc, depTab []float64,
+	haveDep bool, copyRate float64, sc *depenScratch) []float64 {
+	gs, ge := c.GroupStart[oi], c.GroupStart[oi+1]
+	scores := sc.ds.Scores(int(ge - gs))
+	nS := len(c.Sources)
+	for k := range scores {
+		g := gs + int32(k)
+		srcs := c.GroupSrc[c.GroupSrcStart[g]:c.GroupSrcStart[g+1]]
+		var cum float64
+		if !haveDep {
+			// First round: no posteriors yet, every factor is exactly 1.
+			for _, si := range srcs {
+				cum += weights[si]
+			}
+		} else {
+			fac := fillFactorsDense(srcs, acc, depTab, nS, copyRate, sc)
+			for p, si := range srcs {
+				cum += weights[si] * fac[p]
+			}
+		}
+		scores[k] = cum
+	}
+	return scores
+}
+
+// scorePairDense accumulates one candidate's evidence from the flat overlap
+// slices (shared objects ascending, as in the reference path) and applies
+// the three-hypothesis Bayes step.
+func scorePairDense(c *dataset.Compiled, solver *truth.DenseSolver, cand pairCand,
+	ov overlaps, probs, acc []float64, cfg Config, logPrior [3]float64,
+	sc *depenScratch) Dependence {
+	var kt, kf, kd float64
+	for e := cand.off; e < cand.off+cand.n; e++ {
+		if ov.ag[e] != ov.bg[e] {
+			kd++
+			continue
+		}
+		p := solver.ClassMass(probs, int(ov.obj[e]), ov.ag[e])
+		kt += p
+		kf += 1 - p
+	}
+	li, lab, lba := pairHypotheses(kt, kf, kd, acc[cand.a], acc[cand.b],
+		cfg.CopyRate, cfg.Truth.N)
+	sc.logs[0] = li + logPrior[0]
+	sc.logs[1] = lab + logPrior[1]
+	sc.logs[2] = lba + logPrior[2]
+	post := sc.post[:]
+	if err := stats.NormalizeLogInto(post, sc.logs[:]); err != nil {
+		post[0], post[1], post[2] = 1, 0, 0
+	}
+	return Dependence{
+		Pair:   model.SourcePair{A: c.Sources[cand.a], B: c.Sources[cand.b]},
+		Prob:   post[1] + post[2],
+		ProbAB: post[1],
+		ProbBA: post[2],
+		Shared: int(cand.n),
+		Same:   int(cand.same),
+		KT:     kt, KF: kf, KD: kd,
+	}
+}
+
+// detectCompiled is Detect over the compiled index.
+func detectCompiled(c *dataset.Compiled, cfg Config) *Result {
+	solver := truth.NewDenseSolver(c, cfg.Truth)
+	cands, ov := buildCandidates(c, cfg.MinShared)
+
+	nS := len(c.Sources)
+	acc := make([]float64, nS)
+	for i := range acc {
+		acc[i] = cfg.Truth.InitialAccuracy
+	}
+	weights := make([]float64, nS)
+	next := make([]float64, nS)
+	probs := make([]float64, len(c.GroupValue))
+	// depTab[i*nS+j] is the total (both-direction) dependence posterior of
+	// the pair {i, j} from the previous round — the flat replacement for the
+	// nested dirProb map on the discount path.
+	depTab := make([]float64, nS*nS)
+	haveDep := false
+	deps := make([]Dependence, len(cands))
+	maxGroupSrc := c.MaxSourcesPerGroup()
+	newScratch := func() *depenScratch {
+		return &depenScratch{
+			ds:   solver.NewScratch(),
+			rank: make([]int32, maxGroupSrc),
+			fac:  make([]float64, maxGroupSrc),
+		}
+	}
+	logPrior := [3]float64{
+		math.Log(1 - cfg.Alpha), math.Log(cfg.Alpha / 2), math.Log(cfg.Alpha / 2),
+	}
+	eng := cfg.Engine()
+	res := &Result{}
+
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		// Truth step with dependence discounts from the previous round.
+		solver.FillWeights(acc, weights)
+		engine.ForNScratch(eng, len(c.Objects), newScratch, func(oi int, sc *depenScratch) {
+			row := solver.Row(probs, oi)
+			if kr := solver.KnownRow(oi); kr != nil {
+				copy(row, kr)
+				return
+			}
+			scores := scoreObjectDiscounted(c, oi, weights, acc, depTab, haveDep, cfg.CopyRate, sc)
+			solver.FinishObject(oi, scores, row, sc.ds)
+		})
+
+		// Accuracy step.
+		solver.UpdateAccuracy(eng, probs, next)
+
+		// Dependence step: score candidates in their canonical order.
+		engine.ForNScratch(eng, len(cands), newScratch, func(pi int, sc *depenScratch) {
+			deps[pi] = scorePairDense(c, solver, cands[pi], ov, probs, next, cfg, logPrior, sc)
+		})
+		for i := range depTab {
+			depTab[i] = 0
+		}
+		for pi := range deps {
+			a, b := int(cands[pi].a), int(cands[pi].b)
+			t := deps[pi].ProbAB + deps[pi].ProbBA
+			depTab[a*nS+b] = t
+			depTab[b*nS+a] = t
+		}
+		haveDep = len(cands) > 0
+		res.Rounds = round
+
+		if truth.MaxAccuracyDeltaVec(acc, next) < cfg.Tol {
+			copy(acc, next)
+			res.Converged = true
+			break
+		}
+		copy(acc, next)
+	}
+
+	res.Truth = &truth.Result{
+		Probs:     solver.ProbsMap(probs),
+		Accuracy:  solver.AccuracyMap(acc),
+		Rounds:    res.Rounds,
+		Converged: res.Converged,
+	}
+	res.Truth.PickChosen()
+	res.dirProb = map[model.SourceID]map[model.SourceID]float64{}
+	for _, dep := range deps {
+		setDir(res.dirProb, dep.Pair.A, dep.Pair.B, dep.ProbAB)
+		setDir(res.dirProb, dep.Pair.B, dep.Pair.A, dep.ProbBA)
+	}
+	finishPairs(res, deps, cfg.DepThreshold)
+	return res
+}

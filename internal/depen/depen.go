@@ -256,7 +256,10 @@ func scorePair(ov dataset.Overlap, kt, kf, kd float64,
 	}
 }
 
-// Detect runs the full iterative loop on a frozen snapshot dataset.
+// Detect runs the full iterative loop on a frozen snapshot dataset. It
+// executes on the dataset's compiled columnar index; the result is
+// bit-identical to the map-based reference path (detectMaps), which the
+// golden equivalence tests enforce.
 func Detect(d *dataset.Dataset, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -264,7 +267,18 @@ func Detect(d *dataset.Dataset, cfg Config) (*Result, error) {
 	if !d.Frozen() {
 		return nil, fmt.Errorf("depen: dataset must be frozen")
 	}
+	// Compiled is non-nil for every frozen dataset; the fallback is
+	// defensive only.
+	if c := d.Compiled(); c != nil {
+		return detectCompiled(c, cfg), nil
+	}
+	return detectMaps(d, cfg)
+}
 
+// detectMaps is the map-based reference implementation of Detect. It is not
+// on any runtime path: it is kept as the semantic specification the
+// compiled path is tested against (golden_test.go).
+func detectMaps(d *dataset.Dataset, cfg Config) (*Result, error) {
 	// Candidate pairs and their overlaps are fixed across rounds.
 	candidates := d.Pairs(cfg.MinShared)
 
@@ -300,14 +314,12 @@ func Detect(d *dataset.Dataset, cfg Config) (*Result, error) {
 
 		// Dependence step: score candidate pairs in parallel, then merge in
 		// the candidates' deterministic order.
-		scoredPairs := engine.MapObjects(eng, candidates, func(ov dataset.Overlap) Dependence {
+		pairs = engine.MapObjects(eng, candidates, func(ov dataset.Overlap) Dependence {
 			kt, kf, kd := evidence(d, ov, probs, cfg.Truth.ValueSim)
 			return scorePair(ov, kt, kf, kd, next, cfg)
 		})
-		pairs = pairs[:0]
 		dir := map[model.SourceID]map[model.SourceID]float64{}
-		for _, dep := range scoredPairs {
-			pairs = append(pairs, dep)
+		for _, dep := range pairs {
 			setDir(dir, dep.Pair.A, dep.Pair.B, dep.ProbAB)
 			setDir(dir, dep.Pair.B, dep.Pair.A, dep.ProbBA)
 		}
@@ -328,36 +340,31 @@ func Detect(d *dataset.Dataset, cfg Config) (*Result, error) {
 		Rounds:    res.Rounds,
 		Converged: res.Converged,
 	}
-	finishTruth(res.Truth)
-
-	res.AllPairs = make([]Dependence, len(pairs))
-	copy(res.AllPairs, pairs)
-	sortDeps(res.AllPairs)
-	for _, p := range res.AllPairs {
-		if p.Prob >= cfg.DepThreshold {
-			res.Dependences = append(res.Dependences, p)
-		}
-	}
+	res.Truth.PickChosen()
+	finishPairs(res, pairs, cfg.DepThreshold)
 	return res, nil
 }
 
-// finishTruth fills Chosen deterministically (mirrors truth.Result's
-// internal helper, which is unexported).
-func finishTruth(r *truth.Result) {
-	r.Chosen = make(map[model.ObjectID]string, len(r.Probs))
-	for o, pv := range r.Probs {
-		vals := make([]string, 0, len(pv))
-		for v := range pv {
-			vals = append(vals, v)
+// finishPairs fills AllPairs (sorted) and Dependences (thresholded,
+// preallocated after a counting pass) from the final round's verdicts.
+func finishPairs(res *Result, pairs []Dependence, threshold float64) {
+	res.AllPairs = make([]Dependence, len(pairs))
+	copy(res.AllPairs, pairs)
+	sortDeps(res.AllPairs)
+	var n int
+	for _, p := range res.AllPairs {
+		if p.Prob >= threshold {
+			n++
 		}
-		sort.Strings(vals)
-		best, bestP := "", math.Inf(-1)
-		for _, v := range vals {
-			if pv[v] > bestP {
-				best, bestP = v, pv[v]
-			}
+	}
+	if n == 0 {
+		return
+	}
+	res.Dependences = make([]Dependence, 0, n)
+	for _, p := range res.AllPairs {
+		if p.Prob >= threshold {
+			res.Dependences = append(res.Dependences, p)
 		}
-		r.Chosen[o] = best
 	}
 }
 

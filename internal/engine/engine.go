@@ -111,6 +111,62 @@ func MapN[R any](cfg Config, n int, fn func(i int) R) []R {
 	return out
 }
 
+// ForN runs fn(i) for every i in [0, n) with the same scheduling and
+// determinism guarantees as MapN, but without materializing a result slice:
+// fn writes directly into caller-owned, index-addressed storage. This is the
+// zero-allocation shape of the compiled solver loops.
+func ForN(cfg Config, n int, fn func(i int)) {
+	ForNScratch(cfg, n, func() struct{} { return struct{}{} },
+		func(i int, _ struct{}) { fn(i) })
+}
+
+// ForNScratch is ForN with per-worker scratch: newScratch runs once per
+// worker (once total in the sequential case) and the scratch value is passed
+// to every fn call that worker executes. Because each scratch instance is
+// only ever touched by its own goroutine, fn can reuse buffers freely
+// without synchronization; results stay bit-identical to the sequential run
+// as long as fn's output for index i does not depend on scratch history.
+func ForNScratch[S any](cfg Config, n int, newScratch func() S, fn func(i int, scratch S)) {
+	if n <= 0 {
+		return
+	}
+	workers := cfg.WorkerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 {
+		scratch := newScratch()
+		for i := 0; i < n; i++ {
+			fn(i, scratch)
+		}
+		return
+	}
+	chunk := int64(cfg.chunkFor(n, workers))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			scratch := newScratch()
+			for {
+				start := cursor.Add(chunk) - chunk
+				if start >= int64(n) {
+					return
+				}
+				end := start + chunk
+				if end > int64(n) {
+					end = int64(n)
+				}
+				for i := start; i < end; i++ {
+					fn(int(i), scratch)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // MapObjects applies fn to every item of a slice — one truth-discovery
 // object, one candidate overlap, one analysis window — and returns the
 // results in input order.

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -112,5 +113,53 @@ func TestChunkSizing(t *testing.T) {
 	}
 	if got := (Config{}).chunkFor(1600, 4); got != 100 {
 		t.Fatalf("auto chunk = %d, want 100", got)
+	}
+}
+
+func TestForNScratchMatchesSequential(t *testing.T) {
+	const n = 1000
+	want := make([]float64, n)
+	ForNScratch(Config{Workers: 1}, n, func() []float64 { return make([]float64, 8) },
+		func(i int, scratch []float64) {
+			scratch[0] = float64(i) * 1.5
+			want[i] = scratch[0] + 1
+		})
+	for _, workers := range []int{2, 4, 16} {
+		got := make([]float64, n)
+		var scratches atomic.Int64
+		ForNScratch(Config{Workers: workers}, n, func() []float64 {
+			scratches.Add(1)
+			return make([]float64, 8)
+		}, func(i int, scratch []float64) {
+			scratch[0] = float64(i) * 1.5
+			got[i] = scratch[0] + 1
+		})
+		if s := scratches.Load(); s < 1 || s > int64(workers) {
+			t.Fatalf("workers=%d: %d scratch allocations, want 1..%d", workers, s, workers)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d index %d: got %v want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForNCoversAllIndexes(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 300} {
+		var hits atomic.Int64
+		seen := make([]atomic.Int64, n)
+		ForN(Config{Workers: 4}, n, func(i int) {
+			seen[i].Add(1)
+			hits.Add(1)
+		})
+		if hits.Load() != int64(n) {
+			t.Fatalf("n=%d: fn ran %d times", n, hits.Load())
+		}
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("n=%d index %d ran %d times, want 1", n, i, seen[i].Load())
+			}
+		}
 	}
 }

@@ -1,0 +1,75 @@
+// Package profiling provides the shared -cpuprofile / -memprofile plumbing
+// for the command-line tools, so performance work on the solvers can attach
+// pprof evidence (go tool pprof <binary> <file>) without ad-hoc patching.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered on a FlagSet.
+type Flags struct {
+	cpu, mem *string
+	f        *os.File
+}
+
+// Register adds -cpuprofile and -memprofile to fs and returns the handle to
+// Start/Stop profiling around the measured work.
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Pair it with Stop
+// (or Finish in a defer).
+func (p *Flags) Start() error {
+	if *p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpu)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.f = f
+	return nil
+}
+
+// Stop ends CPU profiling and writes the heap profile when -memprofile was
+// given.
+func (p *Flags) Stop() error {
+	if p.f != nil {
+		pprof.StopCPUProfile()
+		if err := p.f.Close(); err != nil {
+			return err
+		}
+		p.f = nil
+	}
+	if *p.mem == "" {
+		return nil
+	}
+	f, err := os.Create(*p.mem)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation data
+	return pprof.WriteHeapProfile(f)
+}
+
+// Finish is Stop for defer sites: failures are reported to stderr rather
+// than returned.
+func (p *Flags) Finish() {
+	if err := p.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "profiling:", err)
+	}
+}

@@ -68,20 +68,35 @@ func NormalizeLog(logw []float64) ([]float64, error) {
 	if len(logw) == 0 {
 		return nil, ErrEmpty
 	}
-	z := LogSumExp(logw...)
 	out := make([]float64, len(logw))
+	if err := NormalizeLogInto(out, logw); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NormalizeLogInto is NormalizeLog writing into a caller-provided slice
+// (len(dst) must equal len(logw); dst may alias logw). It performs the
+// exact same floating-point operations as NormalizeLog, so the two are
+// bit-identical; the hot solver loops use it to normalize into reusable
+// scratch buffers without allocating.
+func NormalizeLogInto(dst, logw []float64) error {
+	if len(logw) == 0 {
+		return ErrEmpty
+	}
+	z := LogSumExp(logw...)
 	if math.IsInf(z, -1) {
 		// All weights are zero; fall back to uniform.
 		u := 1 / float64(len(logw))
-		for i := range out {
-			out[i] = u
+		for i := range dst {
+			dst[i] = u
 		}
-		return out, nil
+		return nil
 	}
 	for i, w := range logw {
-		out[i] = math.Exp(w - z)
+		dst[i] = math.Exp(w - z)
 	}
-	return out, nil
+	return nil
 }
 
 // Normalize scales a nonnegative vector to sum to one. A zero vector becomes

@@ -337,7 +337,10 @@ func (r *Result) DependenceProb(a, b model.SourceID) float64 {
 }
 
 // DetectPairs runs Bayesian update-trace dependence detection on every
-// source pair of a frozen temporal dataset.
+// source pair of a frozen temporal dataset. It executes on the dataset's
+// compiled columnar index; the result is bit-identical to the map-based
+// reference path (detectPairsMaps), which the golden equivalence tests
+// enforce.
 func DetectPairs(d *dataset.Dataset, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -345,6 +348,18 @@ func DetectPairs(d *dataset.Dataset, cfg Config) (*Result, error) {
 	if !d.Frozen() {
 		return nil, fmt.Errorf("temporal: dataset must be frozen")
 	}
+	// Compiled is non-nil for every frozen dataset; the fallback is
+	// defensive only.
+	if c := d.Compiled(); c != nil {
+		return detectPairsCompiled(c, cfg), nil
+	}
+	return detectPairsMaps(d, cfg)
+}
+
+// detectPairsMaps is the map-based reference implementation of DetectPairs.
+// It is not on any runtime path: it is kept as the semantic specification
+// the compiled path is tested against (golden_test.go).
+func detectPairsMaps(d *dataset.Dataset, cfg Config) (*Result, error) {
 	sources := d.Sources()
 	traces := make(map[model.SourceID][]update, len(sources))
 	// popularity[o][v] = number of sources that ever assert (o, v) with a

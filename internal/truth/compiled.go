@@ -1,0 +1,340 @@
+// Dense (compiled-index) execution of the truth-discovery hot paths.
+//
+// The map-based helpers in truth.go remain the semantic reference; this
+// file re-expresses the per-round loops over dataset.Compiled's interned
+// int32 indexes and flat float64 vectors. Every loop preserves the
+// reference path's canonical iteration order — groups in sorted-value
+// order, sources ascending, objects ascending — so each floating-point sum
+// is performed in the exact same sequence and results are bit-identical
+// (the golden equivalence tests assert reflect.DeepEqual).
+package truth
+
+import (
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/engine"
+	"sourcecurrents/internal/model"
+	"sourcecurrents/internal/stats"
+)
+
+// DenseSolver bundles a compiled dataset view with a solver configuration
+// and provides the dense building blocks (vote-weight table, per-object
+// scoring, similarity leakage, softmax, accuracy re-estimation, Known
+// overrides) that Accu and the dependence-aware detector compose. It is
+// read-only after construction and safe for concurrent workers.
+type DenseSolver struct {
+	c   *dataset.Compiled
+	cfg Config
+	// known[oi] is non-nil when object oi is pinned by cfg.Known: the
+	// precomputed posterior row (plus the labeled value itself when it is
+	// not among the observed candidates). ApplyKnown's output depends only
+	// on the candidate set and the pin confidence, so it is a constant.
+	known []*knownOverride
+}
+
+type knownOverride struct {
+	row      []float64
+	hasExtra bool    // the labeled value is not an observed candidate
+	extraVal string  // the labeled value
+	extraP   float64 // its pinned probability
+	extraPos int     // its sorted position among the observed candidates
+}
+
+// DenseScratch is the per-worker buffer set for dense object scoring.
+type DenseScratch struct {
+	scores []float64
+	adj    []float64
+}
+
+// Scores returns the scratch score buffer truncated to n candidates.
+func (sc *DenseScratch) Scores(n int) []float64 { return sc.scores[:n] }
+
+// NewDenseSolver compiles the configuration against c.
+func NewDenseSolver(c *dataset.Compiled, cfg Config) *DenseSolver {
+	s := &DenseSolver{c: c, cfg: cfg}
+	s.buildKnown()
+	return s
+}
+
+// Compiled returns the underlying compiled view.
+func (s *DenseSolver) Compiled() *dataset.Compiled { return s.c }
+
+// NewScratch allocates one worker's scratch buffers.
+func (s *DenseSolver) NewScratch() *DenseScratch {
+	n := s.c.MaxGroupsPerObject()
+	return &DenseScratch{scores: make([]float64, n), adj: make([]float64, n)}
+}
+
+func (s *DenseSolver) buildKnown() {
+	if len(s.cfg.Known) == 0 {
+		return
+	}
+	c := s.c
+	s.known = make([]*knownOverride, len(c.Objects))
+	conf := s.cfg.knownConfidence()
+	for o, want := range s.cfg.Known {
+		oi, ok := c.ObjectIndex(o)
+		if !ok {
+			continue // label for an object the dataset never mentions
+		}
+		gs, ge := c.GroupStart[oi], c.GroupStart[oi+1]
+		n := int(ge - gs)
+		wantPos := -1
+		if vi, ok := c.ValueIndex(want); ok {
+			for k := 0; k < n; k++ {
+				if c.GroupValue[gs+int32(k)] == vi {
+					wantPos = k
+					break
+				}
+			}
+		}
+		rest := n
+		if wantPos >= 0 {
+			rest--
+		}
+		row := make([]float64, n)
+		if rest > 0 {
+			fill := (1 - conf) / float64(rest)
+			for k := range row {
+				row[k] = fill
+			}
+		}
+		ov := &knownOverride{row: row}
+		if wantPos >= 0 {
+			row[wantPos] = conf
+		} else {
+			ov.hasExtra = true
+			ov.extraVal = want
+			ov.extraP = conf
+			for k := 0; k < n; k++ {
+				if c.Values[c.GroupValue[gs+int32(k)]] < want {
+					ov.extraPos = k + 1
+				}
+			}
+		}
+		s.known[oi] = ov
+	}
+}
+
+// KnownRow returns the pinned posterior row for object oi, or nil when the
+// object is unlabeled.
+func (s *DenseSolver) KnownRow(oi int) []float64 {
+	if s.known == nil {
+		return nil
+	}
+	if ov := s.known[oi]; ov != nil {
+		return ov.row
+	}
+	return nil
+}
+
+// Row returns object oi's slice of the flat probability vector.
+func (s *DenseSolver) Row(probs []float64, oi int) []float64 {
+	return probs[s.c.GroupStart[oi]:s.c.GroupStart[oi+1]]
+}
+
+// FillWeights recomputes the per-source vote weights for the current
+// accuracies — once per round instead of once per (source, value) vote.
+func (s *DenseSolver) FillWeights(acc, weights []float64) {
+	for i, a := range acc {
+		weights[i] = WeightOf(a, s.cfg.N)
+	}
+}
+
+// ScoreObject sums the (undiscounted) vote weights per candidate of object
+// oi into the scratch score buffer and returns it.
+func (s *DenseSolver) ScoreObject(oi int, weights []float64, sc *DenseScratch) []float64 {
+	c := s.c
+	gs, ge := c.GroupStart[oi], c.GroupStart[oi+1]
+	scores := sc.scores[:ge-gs]
+	for k := range scores {
+		g := gs + int32(k)
+		var cum float64
+		for _, si := range c.GroupSrc[c.GroupSrcStart[g]:c.GroupSrcStart[g+1]] {
+			cum += weights[si]
+		}
+		scores[k] = cum
+	}
+	return scores
+}
+
+// FinishObject applies the similarity extension to the candidate scores and
+// softmaxes them into row (object oi's posterior). It mirrors
+// ApplySimilarity + SoftmaxScores over the value-sorted group order.
+func (s *DenseSolver) FinishObject(oi int, scores, row []float64, sc *DenseScratch) {
+	c := s.c
+	src := scores
+	if sim := s.cfg.ValueSim; sim != nil && s.cfg.ValueSimWeight != 0 && len(scores) >= 2 {
+		gs := c.GroupStart[oi]
+		adj := sc.adj[:len(scores)]
+		for k := range scores {
+			a := scores[k]
+			vk := c.Values[c.GroupValue[gs+int32(k)]]
+			for u := range scores {
+				if u == k {
+					continue
+				}
+				sv := sim(vk, c.Values[c.GroupValue[gs+int32(u)]])
+				if sv < 0 {
+					sv = 0
+				} else if sv > 1 {
+					sv = 1
+				}
+				a += s.cfg.ValueSimWeight * sv * scores[u]
+			}
+			adj[k] = a
+		}
+		src = adj
+	}
+	// Candidate sets are never empty, so the only NormalizeLog error
+	// (ErrEmpty) cannot occur.
+	_ = stats.NormalizeLogInto(row, src)
+}
+
+// ClassMass is truth.ClassMass over the dense representation: the posterior
+// mass of global group g's similarity class on object oi, walking the
+// candidates (and any Known extra value) in sorted-value order.
+func (s *DenseSolver) ClassMass(probs []float64, oi int, g int32) float64 {
+	c := s.c
+	gs := c.GroupStart[oi]
+	row := probs[gs:c.GroupStart[oi+1]]
+	local := int(g - gs)
+	sim := s.cfg.ValueSim
+	if sim == nil {
+		return row[local]
+	}
+	var ov *knownOverride
+	if s.known != nil {
+		ov = s.known[oi]
+	}
+	hasExtra := ov != nil && ov.hasExtra
+	v := c.Values[c.GroupValue[g]]
+	var mass float64
+	addSim := func(u string, p float64) {
+		sv := sim(v, u)
+		if sv < 0 {
+			sv = 0
+		} else if sv > 1 {
+			sv = 1
+		}
+		mass += p * sv
+	}
+	for k := range row {
+		if hasExtra && ov.extraPos == k {
+			addSim(ov.extraVal, ov.extraP)
+		}
+		if k == local {
+			mass += row[k]
+			continue
+		}
+		addSim(c.Values[c.GroupValue[gs+int32(k)]], row[k])
+	}
+	if hasExtra && ov.extraPos == len(row) {
+		addSim(ov.extraVal, ov.extraP)
+	}
+	if mass > 1 {
+		mass = 1
+	}
+	return mass
+}
+
+// UpdateAccuracy re-estimates every source's accuracy from the flat
+// posterior vector into next, mirroring UpdateAccuracySim's per-source
+// object order (ascending).
+func (s *DenseSolver) UpdateAccuracy(eng engine.Config, probs, next []float64) {
+	c := s.c
+	engine.ForN(eng, len(c.Sources), func(si int) {
+		start, end := c.SrcStart[si], c.SrcStart[si+1]
+		var sum float64
+		for k := start; k < end; k++ {
+			sum += s.ClassMass(probs, int(c.SrcObj[k]), c.SrcGroup[k])
+		}
+		cnt := float64(end - start)
+		next[si] = stats.ClampProb((sum + s.cfg.PriorA) / (cnt + s.cfg.PriorA + s.cfg.PriorB))
+	})
+}
+
+// ProbsMap converts the flat posterior vector back to the public map shape,
+// including any Known-pinned values that are not observed candidates.
+func (s *DenseSolver) ProbsMap(probs []float64) map[model.ObjectID]map[string]float64 {
+	c := s.c
+	out := make(map[model.ObjectID]map[string]float64, len(c.Objects))
+	for oi, o := range c.Objects {
+		gs, ge := c.GroupStart[oi], c.GroupStart[oi+1]
+		pv := make(map[string]float64, int(ge-gs)+1)
+		for k := gs; k < ge; k++ {
+			pv[c.Values[c.GroupValue[k]]] = probs[k]
+		}
+		if s.known != nil {
+			// ApplyKnown's key set is the observed candidates plus the
+			// label itself when unobserved.
+			if ov := s.known[oi]; ov != nil && ov.hasExtra {
+				pv[ov.extraVal] = ov.extraP
+			}
+		}
+		out[o] = pv
+	}
+	return out
+}
+
+// AccuracyMap converts the dense accuracy vector to the public map shape.
+func (s *DenseSolver) AccuracyMap(acc []float64) map[model.SourceID]float64 {
+	out := make(map[model.SourceID]float64, len(acc))
+	for i, a := range acc {
+		out[s.c.Sources[i]] = a
+	}
+	return out
+}
+
+// MaxAccuracyDeltaVec is MaxAccuracyDelta over dense accuracy vectors.
+func MaxAccuracyDeltaVec(a, b []float64) float64 {
+	var max float64
+	for i, av := range a {
+		d := av - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// accuCompiled is Accu over the compiled index.
+func accuCompiled(c *dataset.Compiled, cfg Config) *Result {
+	solver := NewDenseSolver(c, cfg)
+	nS := len(c.Sources)
+	acc := make([]float64, nS)
+	for i := range acc {
+		acc[i] = cfg.InitialAccuracy
+	}
+	weights := make([]float64, nS)
+	next := make([]float64, nS)
+	probs := make([]float64, len(c.GroupValue))
+	eng := cfg.Engine()
+	res := &Result{}
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		solver.FillWeights(acc, weights)
+		engine.ForNScratch(eng, len(c.Objects), solver.NewScratch, func(oi int, sc *DenseScratch) {
+			row := solver.Row(probs, oi)
+			if kr := solver.KnownRow(oi); kr != nil {
+				copy(row, kr)
+				return
+			}
+			scores := solver.ScoreObject(oi, weights, sc)
+			solver.FinishObject(oi, scores, row, sc)
+		})
+		solver.UpdateAccuracy(eng, probs, next)
+		res.Rounds = round
+		if MaxAccuracyDeltaVec(acc, next) < cfg.Tol {
+			copy(acc, next)
+			res.Converged = true
+			break
+		}
+		copy(acc, next)
+	}
+	res.Probs = solver.ProbsMap(probs)
+	res.Accuracy = solver.AccuracyMap(acc)
+	res.PickChosen()
+	return res
+}

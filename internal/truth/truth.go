@@ -48,8 +48,12 @@ type Result struct {
 	Converged bool
 }
 
-// pickChosen fills Chosen from Probs deterministically.
-func (r *Result) pickChosen() {
+// PickChosen fills Chosen from Probs deterministically: the
+// maximum-probability value per object, ties broken by smaller value
+// string. Exported so solvers that assemble a Result from their own
+// probability tables (the dependence-aware detector, the compiled dense
+// path) share the one canonical tie-break.
+func (r *Result) PickChosen() {
 	r.Chosen = make(map[model.ObjectID]string, len(r.Probs))
 	for o, pv := range r.Probs {
 		vals := make([]string, 0, len(pv))
@@ -84,7 +88,7 @@ func Vote(d *dataset.Dataset) *Result {
 		}
 		res.Probs[o] = pv
 	}
-	res.pickChosen()
+	res.PickChosen()
 	return res
 }
 
@@ -296,12 +300,22 @@ func SoftmaxScores(scores map[string]float64) map[string]float64 {
 // "J. Ullman" gets credit for the posterior of "Jeffrey Ullman": exact
 // string probabilities fragment across representations, class mass does
 // not.
+//
+// Candidates are accumulated in sorted-value order — the canonical
+// iteration order of every solver loop — so the sum is reproducible and the
+// compiled dense path (which walks value-sorted groups) is bit-identical.
 func ClassMass(probs map[string]float64, v string, sim func(a, b string) float64) float64 {
 	if sim == nil {
 		return probs[v]
 	}
+	vals := make([]string, 0, len(probs))
+	for u := range probs {
+		vals = append(vals, u)
+	}
+	sort.Strings(vals)
 	var mass float64
-	for u, p := range probs {
+	for _, u := range vals {
+		p := probs[u]
 		if u == v {
 			mass += p
 			continue
@@ -364,7 +378,9 @@ func MaxAccuracyDelta(a, b map[model.SourceID]float64) float64 {
 }
 
 // Accu runs accuracy-weighted iterative truth discovery (no dependence
-// modelling).
+// modelling). It executes on the dataset's compiled columnar index; the
+// result is bit-identical to the map-based reference path (accuMaps), which
+// the golden equivalence tests enforce.
 func Accu(d *dataset.Dataset, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -372,6 +388,18 @@ func Accu(d *dataset.Dataset, cfg Config) (*Result, error) {
 	if !d.Frozen() {
 		return nil, fmt.Errorf("truth: dataset must be frozen")
 	}
+	// Compiled is non-nil for every frozen dataset; the fallback is
+	// defensive only.
+	if c := d.Compiled(); c != nil {
+		return accuCompiled(c, cfg), nil
+	}
+	return accuMaps(d, cfg)
+}
+
+// accuMaps is the map-based reference implementation of Accu. It is not on
+// any runtime path: it is kept as the semantic specification the compiled
+// path is tested against (golden_test.go).
+func accuMaps(d *dataset.Dataset, cfg Config) (*Result, error) {
 	acc := make(map[model.SourceID]float64, len(d.Sources()))
 	for _, s := range d.Sources() {
 		acc[s] = cfg.InitialAccuracy
@@ -403,6 +431,6 @@ func Accu(d *dataset.Dataset, cfg Config) (*Result, error) {
 		acc = next
 	}
 	res.Accuracy = acc
-	res.pickChosen()
+	res.PickChosen()
 	return res, nil
 }
