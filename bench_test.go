@@ -101,7 +101,7 @@ func BenchmarkEX10Winnow(b *testing.B) {
 // benchSnapshotWorld generates a snapshot corpus with nSources independent
 // sources (accuracies spread over 0.55-0.95) plus one copier per ten
 // independents, all claiming nObjects objects.
-func benchSnapshotWorld(b *testing.B, nSources, nObjects int) *sourcecurrents.Dataset {
+func benchSnapshotWorld(b testing.TB, nSources, nObjects int) *sourcecurrents.Dataset {
 	b.Helper()
 	accs := make([]float64, nSources)
 	for i := range accs {
@@ -217,3 +217,99 @@ func benchmarkTemporal(b *testing.B, parallelism int) {
 
 func BenchmarkTemporalSequential(b *testing.B) { benchmarkTemporal(b, 1) }
 func BenchmarkTemporalParallel(b *testing.B)   { benchmarkTemporal(b, 0) }
+
+// The BenchmarkSession* family measures the serving layer's amortization:
+// SessionBuild is the one-time precompute, SessionAnswer the steady-state
+// per-query cost, and SessionAnswerPerCall the naive shape that re-derives
+// accuracies and dependence on every query — the repeated-query workload the
+// Session exists to beat (compare SessionAnswer against SessionAnswerPerCall
+// at the same size).
+
+func BenchmarkSessionBuild(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(fmt.Sprintf("sources=%d", sz.sources), func(b *testing.B) {
+			b.ReportAllocs()
+			if testing.Short() && !sz.short {
+				b.Skip("large scale skipped in short mode")
+			}
+			d := benchSnapshotWorld(b, sz.sources, sz.objects)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sourcecurrents.NewSession(d, sourcecurrents.DefaultSessionConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSessionAnswer(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(fmt.Sprintf("sources=%d", sz.sources), func(b *testing.B) {
+			b.ReportAllocs()
+			if testing.Short() && !sz.short {
+				b.Skip("large scale skipped in short mode")
+			}
+			d := benchSnapshotWorld(b, sz.sources, sz.objects)
+			s, err := sourcecurrents.NewSession(d, sourcecurrents.DefaultSessionConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			query := d.Objects()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.AnswerObjects(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSessionAnswerPerCall(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(fmt.Sprintf("sources=%d", sz.sources), func(b *testing.B) {
+			b.ReportAllocs()
+			if testing.Short() && !sz.short {
+				b.Skip("large scale skipped in short mode")
+			}
+			d := benchSnapshotWorld(b, sz.sources, sz.objects)
+			query := d.Objects()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dres, err := sourcecurrents.DetectDependence(d, sourcecurrents.DefaultDependenceConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := sourcecurrents.DefaultQueryConfig()
+				cfg.Accuracy = dres.Truth.Accuracy
+				cfg.Dependence = dres.DependenceProb
+				if _, err := sourcecurrents.AnswerQuery(d, query, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSessionFuse(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(fmt.Sprintf("sources=%d", sz.sources), func(b *testing.B) {
+			b.ReportAllocs()
+			if testing.Short() && !sz.short {
+				b.Skip("large scale skipped in short mode")
+			}
+			d := benchSnapshotWorld(b, sz.sources, sz.objects)
+			s, err := sourcecurrents.NewSession(d, sourcecurrents.DefaultSessionConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Fuse(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

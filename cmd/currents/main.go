@@ -15,15 +15,21 @@
 //	    dissimilarity-dependence on Good/Neutral/Bad ratings
 //	currents recommend [-k N] file.csv
 //	    trust-ranked source recommendation
+//	currents serve  [-parallelism N] [-query "e,a;e,a"] [-repeat N] file.csv
+//	    long-lived serving session: one truth+dependence precompute, then
+//	    unlimited queries (stdin REPL, or -query for one-shot/batch mode)
 //
 // Every subcommand also accepts -cpuprofile FILE and -memprofile FILE to
 // write pprof evidence for performance work.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"sourcecurrents"
 	"sourcecurrents/internal/eval"
@@ -48,6 +54,8 @@ func main() {
 		err = runDissim(args)
 	case "recommend":
 		err = runRecommend(args)
+	case "serve":
+		err = runServe(args)
 	default:
 		usage()
 	}
@@ -58,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: currents <detect|truth|temporal|dissim|recommend> [flags] file.csv")
+	fmt.Fprintln(os.Stderr, "usage: currents <detect|truth|temporal|dissim|recommend|serve> [flags] file.csv")
 	os.Exit(2)
 }
 
@@ -253,4 +261,172 @@ func runRecommend(args []string) error {
 		t.AddRowf(string(p.Source), p.Trust, p.Accuracy, p.Coverage, p.Independence)
 	}
 	return t.Render(os.Stdout)
+}
+
+// parseQueryList parses "entity,attribute;entity,attribute" into object ids.
+func parseQueryList(spec string) ([]sourcecurrents.ObjectID, error) {
+	var out []sourcecurrents.ObjectID
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ea := strings.SplitN(part, ",", 2)
+		if len(ea) != 2 {
+			return nil, fmt.Errorf("bad query entry %q (want entity,attribute)", part)
+		}
+		out = append(out, sourcecurrents.Obj(strings.TrimSpace(ea[0]), strings.TrimSpace(ea[1])))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty query %q", spec)
+	}
+	return out, nil
+}
+
+func printAnswers(res *sourcecurrents.QueryResult) error {
+	t := eval.NewTable(fmt.Sprintf("Answers (%d sources probed)", len(res.Probed)),
+		"object", "value", "p")
+	for _, a := range res.Final {
+		t.AddRowf(a.Object.String(), a.Value, a.Prob)
+	}
+	return t.Render(os.Stdout)
+}
+
+// runServe builds a serving session (one precompute) and then answers
+// queries against it: either the -query list (repeated -repeat times for
+// throughput runs), or an interactive stdin loop with the commands
+//
+//	answer e,a[;e,a...]   probe sources and answer the listed objects
+//	fuse                  fused value per object
+//	recommend K           top-K trusted sources
+//	accuracy              discovered per-source accuracies
+//	quit
+//
+// Timings go to stderr so stdout stays deterministic and diffable.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	parallelism := fs.Int("parallelism", 0, "worker count (0 = all cores, 1 = sequential)")
+	query := fs.String("query", "", "answer this query list (entity,attribute;...) instead of reading stdin")
+	repeat := fs.Int("repeat", 1, "with -query: answer it this many times (throughput demo)")
+	prof := profiling.Register(fs)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Finish()
+	d, err := loadDataset(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg := sourcecurrents.DefaultSessionConfig()
+	cfg.Parallelism = *parallelism
+	start := time.Now()
+	s, err := sourcecurrents.NewSession(d, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "session ready: %d claims, %d sources, %d objects, %d dependent pairs (precompute %v)\n",
+		d.Len(), len(d.Sources()), len(d.Objects()), len(s.Dependence().Dependences),
+		time.Since(start).Round(time.Millisecond))
+
+	if *query != "" {
+		if *repeat < 1 {
+			return fmt.Errorf("serve: -repeat must be >= 1 (got %d)", *repeat)
+		}
+		q, err := parseQueryList(*query)
+		if err != nil {
+			return err
+		}
+		qstart := time.Now()
+		var res *sourcecurrents.QueryResult
+		for i := 0; i < *repeat; i++ {
+			if res, err = s.AnswerObjects(q); err != nil {
+				return err
+			}
+		}
+		if err := printAnswers(res); err != nil {
+			return err
+		}
+		if *repeat > 1 {
+			el := time.Since(qstart)
+			fmt.Fprintf(os.Stderr, "%d queries in %v (%.0f queries/sec)\n",
+				*repeat, el.Round(time.Millisecond), float64(*repeat)/el.Seconds())
+		}
+		return nil
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch cmd {
+		case "quit", "exit":
+			return nil
+		case "answer":
+			q, err := parseQueryList(rest)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				continue
+			}
+			res, err := s.AnswerObjects(q)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				continue
+			}
+			if err := printAnswers(res); err != nil {
+				return err
+			}
+		case "fuse":
+			res, err := s.Fuse()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				continue
+			}
+			t := eval.NewTable("Fused view", "object", "value", "p")
+			for _, o := range d.Objects() {
+				v := res.Chosen[o]
+				t.AddRowf(o.String(), v, res.Relation.Tuples[o].Prob(v))
+			}
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+		case "recommend":
+			k := 5
+			if rest != "" {
+				if _, err := fmt.Sscanf(rest, "%d", &k); err != nil {
+					fmt.Fprintln(os.Stderr, "serve: bad k:", err)
+					continue
+				}
+			}
+			top, err := s.RecommendSources(sourcecurrents.DefaultTrustWeights(), k)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				continue
+			}
+			t := eval.NewTable("Recommended sources", "source", "trust", "accuracy", "independence")
+			for _, p := range top {
+				t.AddRowf(string(p.Source), p.Trust, p.Accuracy, p.Independence)
+			}
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+		case "accuracy":
+			t := eval.NewTable("Discovered accuracies", "source", "accuracy")
+			for _, src := range d.Sources() {
+				t.AddRowf(string(src), s.Accuracy()[src])
+			}
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "serve: unknown command %q (answer|fuse|recommend|accuracy|quit)\n", cmd)
+		}
+	}
+	return sc.Err()
 }

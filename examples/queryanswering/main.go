@@ -26,12 +26,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// First discover dependence, then plan probes with it.
-	dres, err := sourcecurrents.DetectDependence(sw.Dataset, sourcecurrents.DefaultDependenceConfig())
+	// Build a serving session: dependence is discovered once, and every
+	// query afterwards reads the cached accuracies and dependence table.
+	s, err := sourcecurrents.NewSession(sw.Dataset, sourcecurrents.DefaultSessionConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("discovered %d dependent pairs\n", len(dres.Dependences))
+	fmt.Printf("discovered %d dependent pairs\n", len(s.Dependence().Dependences))
 
 	query := sw.Dataset.Objects()
 	for _, policy := range []sourcecurrents.QueryPolicy{
@@ -40,9 +41,7 @@ func main() {
 	} {
 		cfg := sourcecurrents.DefaultQueryConfig()
 		cfg.Policy = policy
-		cfg.Accuracy = dres.Truth.Accuracy
-		cfg.Dependence = dres.DependenceProb
-		res, err := sourcecurrents.AnswerQuery(sw.Dataset, query, cfg)
+		res, err := s.AnswerObjectsWith(query, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,5 +52,6 @@ func main() {
 		}
 	}
 	fmt.Println("\nthe dependence-aware order defers the copies of already-probed sources,")
-	fmt.Println("reaching its best quality with fewer probes.")
+	fmt.Println("reaching its best quality with fewer probes; the session answers every")
+	fmt.Println("follow-up query without re-deriving accuracies or dependence.")
 }

@@ -252,6 +252,20 @@ func (c *Compiled) ValueIndex(v string) (int32, bool) {
 	return i, ok
 }
 
+// ClaimOf returns the position in the per-source claim arrays (SrcObj,
+// SrcVal, SrcGroup) holding source si's snapshot claim for object oi, or -1
+// when si asserts nothing about oi — the dense equivalent of
+// Dataset.Value, by binary search over the source's ascending object list.
+func (c *Compiled) ClaimOf(si, oi int32) int32 {
+	lo, hi := c.SrcStart[si], c.SrcStart[si+1]
+	objs := c.SrcObj[lo:hi]
+	k := sort.Search(len(objs), func(i int) bool { return objs[i] >= oi })
+	if k < len(objs) && objs[k] == oi {
+		return lo + int32(k)
+	}
+	return -1
+}
+
 // PopularityOf returns how many sources ever assert the timestamped
 // (object, value) packed key, by binary search.
 func (c *Compiled) PopularityOf(key int64) int32 {

@@ -17,6 +17,7 @@ import (
 	"sourcecurrents/internal/model"
 	"sourcecurrents/internal/queryans"
 	"sourcecurrents/internal/recommend"
+	"sourcecurrents/internal/session"
 	"sourcecurrents/internal/strsim"
 	"sourcecurrents/internal/synth"
 	"sourcecurrents/internal/temporal"
@@ -577,21 +578,25 @@ func EX8QueryOrder(seed int64) *Report {
 	if err != nil {
 		panic(err)
 	}
-	dres, err := depen.Detect(sw.Dataset, depenConfig())
+	// One serving session: the truth+dependence precompute runs once and the
+	// three policy traces are answered against its cached state (bit-identical
+	// to per-call AnswerObjects with this discovery result).
+	scfg := session.DefaultConfig()
+	scfg.Depen = depenConfig()
+	scfg.Query.Parallelism = Parallelism
+	sess, err := session.New(sw.Dataset, scfg)
 	if err != nil {
 		panic(err)
 	}
-	qcfg := queryans.DefaultConfig()
-	qcfg.Accuracy = dres.Truth.Accuracy
-	qcfg.Dependence = dres.DependenceProb
 
 	t := eval.NewTable("Fraction of query objects answered correctly after k probes",
 		"k", "greedy-gain", "accuracy-coverage", "by-id")
 	curves := map[queryans.Policy][]float64{}
 	for _, pol := range []queryans.Policy{queryans.GreedyGain, queryans.AccuracyCoverage, queryans.ByID} {
-		cfg := qcfg
+		cfg := queryans.DefaultConfig()
 		cfg.Policy = pol
-		res, err := queryans.AnswerObjects(sw.Dataset, sw.Dataset.Objects(), cfg)
+		cfg.Parallelism = Parallelism
+		res, err := sess.AnswerObjectsWith(sw.Dataset.Objects(), cfg)
 		if err != nil {
 			panic(err)
 		}
@@ -677,7 +682,10 @@ func EX10Winnow(seed int64, nObjects int) *Report {
 	}
 	truthPairs := map[model.SourcePair]bool{model.NewSourcePair("C0", "I2"): true}
 
-	wpairs := winnow.DetectPairs(sw.Dataset, winnow.DefaultConfig(), 0.3)
+	wpairs, err := winnow.DetectPairs(sw.Dataset, winnow.DefaultConfig(), 0.3)
+	if err != nil {
+		panic(err)
+	}
 	var wdet []model.SourcePair
 	for _, p := range wpairs {
 		wdet = append(wdet, p.Pair)

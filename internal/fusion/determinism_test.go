@@ -1,0 +1,36 @@
+package fusion
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Repeated-run determinism: fusing a freshly rebuilt world must yield
+// bit-identical results every time, at every Parallelism setting — any
+// map-iteration order leaking into the relation or the chosen values would
+// trip this.
+
+func TestFuseDeterministicAcrossRunsAndParallelism(t *testing.T) {
+	for _, st := range []Strategy{KeepFirst, Majority, Weighted, DependenceAware} {
+		var want *Result
+		for run := 0; run < 3; run++ {
+			d := goldenWorld(t, 11)
+			for _, p := range []int{1, 4, 16} {
+				cfg := DefaultConfig()
+				cfg.Strategy = st
+				cfg.Parallelism = p
+				got, err := Fuse(d, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want == nil {
+					want = got
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("strategy %v: result differs across runs (Parallelism=%d)", st, p)
+				}
+			}
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"sourcecurrents/internal/dataset"
 	"sourcecurrents/internal/depen"
+	"sourcecurrents/internal/engine"
 	"sourcecurrents/internal/model"
 	"sourcecurrents/internal/probdb"
 	"sourcecurrents/internal/truth"
@@ -63,6 +64,27 @@ type Config struct {
 	// MinProb drops fused values whose posterior falls below it (0 keeps
 	// everything).
 	MinProb float64
+	// Parallelism is the worker count for fusion's own per-object
+	// resolution loop; when non-zero it also overrides the embedded
+	// Truth/Depen configs' knobs. Values <= 0 select
+	// runtime.GOMAXPROCS(0); 1 forces sequential execution. Results are
+	// bit-identical at every setting.
+	Parallelism int
+}
+
+// Engine returns the execution-engine configuration for this resolver.
+func (c Config) Engine() engine.Config {
+	return engine.Config{Workers: c.Parallelism}
+}
+
+// effective propagates a non-zero Parallelism into the embedded solver
+// configs.
+func (c Config) effective() Config {
+	if c.Parallelism != 0 {
+		c.Truth.Parallelism = c.Parallelism
+		c.Depen.Parallelism = c.Parallelism
+	}
+	return c
 }
 
 // DefaultConfig fuses dependence-aware with default solver parameters.
@@ -108,19 +130,173 @@ type Result struct {
 }
 
 // Fuse resolves all conflicts in a frozen dataset under the configured
-// strategy.
+// strategy. The iterative solvers already run on the compiled columnar
+// index; fusion's own resolution loop runs over the compiled object order
+// with the per-object x-tuples built in parallel. The result is
+// bit-identical to the map-based reference path (fuseMaps), which the
+// golden equivalence tests enforce.
 func Fuse(d *dataset.Dataset, cfg Config) (*Result, error) {
+	cfg = cfg.effective()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if !d.Frozen() {
 		return nil, errors.New("fusion: dataset must be frozen")
 	}
-	res := &Result{
+	if d.Len() == 0 {
+		return nil, errors.New("fusion: empty dataset")
+	}
+	// Compiled is non-nil for every frozen dataset; the fallback is
+	// defensive only.
+	if d.Compiled() == nil {
+		return fuseMaps(d, cfg)
+	}
+	res := newResult(cfg.Strategy)
+	switch cfg.Strategy {
+	case KeepFirst:
+		if err := fillKeepFirst(res, d, cfg.Engine()); err != nil {
+			return nil, err
+		}
+	case Majority:
+		tr := truth.Vote(d)
+		res.Truth = tr
+		if err := fillResolved(res, d, tr, cfg); err != nil {
+			return nil, err
+		}
+	case Weighted:
+		tr, err := truth.Accu(d, cfg.Truth)
+		if err != nil {
+			return nil, err
+		}
+		res.Truth = tr
+		if err := fillResolved(res, d, tr, cfg); err != nil {
+			return nil, err
+		}
+	case DependenceAware:
+		dr, err := depen.Detect(d, cfg.Depen)
+		if err != nil {
+			return nil, err
+		}
+		res.Depen = dr
+		res.Truth = dr.Truth
+		if err := fillResolved(res, d, dr.Truth, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// FuseWith resolves conflicts reusing an existing dependence-discovery
+// result — the serving session's cached precompute — instead of re-running
+// the solver. The strategy must be DependenceAware; the output is
+// bit-identical to Fuse when dr came from the same dataset and Depen
+// config.
+func FuseWith(d *dataset.Dataset, cfg Config, dr *depen.Result) (*Result, error) {
+	cfg = cfg.effective()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Frozen() {
+		return nil, errors.New("fusion: dataset must be frozen")
+	}
+	if d.Len() == 0 {
+		return nil, errors.New("fusion: empty dataset")
+	}
+	if cfg.Strategy != DependenceAware {
+		return nil, errors.New("fusion: FuseWith requires the DependenceAware strategy")
+	}
+	if dr == nil || dr.Truth == nil {
+		return nil, errors.New("fusion: FuseWith requires a non-nil dependence result")
+	}
+	res := newResult(cfg.Strategy)
+	res.Depen = dr
+	res.Truth = dr.Truth
+	if err := fillResolved(res, d, dr.Truth, cfg); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func newResult(st Strategy) *Result {
+	return &Result{
 		Chosen:   map[model.ObjectID]string{},
 		Relation: probdb.NewRelation("fused"),
-		Strategy: cfg.Strategy,
+		Strategy: st,
 	}
+}
+
+// fillKeepFirst resolves every object to the value of its
+// lexicographically first source over the compiled group lists: group
+// source lists are ascending, so each group's first entry is its minimum
+// and the object's winner is the group with the smallest first entry.
+func fillKeepFirst(res *Result, d *dataset.Dataset, eng engine.Config) error {
+	c := d.Compiled()
+	chosen := engine.MapN(eng, len(c.Objects), func(oi int) string {
+		best := ""
+		bestSrc := int32(-1)
+		for g := c.GroupStart[oi]; g < c.GroupStart[oi+1]; g++ {
+			first := c.GroupSrc[c.GroupSrcStart[g]]
+			if bestSrc < 0 || first < bestSrc {
+				bestSrc, best = first, c.Values[c.GroupValue[g]]
+			}
+		}
+		return best
+	})
+	for oi, o := range c.Objects {
+		res.Chosen[o] = chosen[oi]
+		if err := res.Relation.Put(probdb.XTuple{
+			Object:       o,
+			Alternatives: []probdb.Alternative{{Value: chosen[oi], Prob: 1}},
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fillResolved materializes the probabilistic relation from a truth result:
+// per-object alternative lists are built in parallel (index-addressed
+// slots) and committed in canonical object order.
+func fillResolved(res *Result, d *dataset.Dataset, tr *truth.Result, cfg Config) error {
+	c := d.Compiled()
+	alts := engine.MapN(cfg.Engine(), len(c.Objects), func(oi int) []probdb.Alternative {
+		pv := tr.Probs[c.Objects[oi]]
+		vals := make([]string, 0, len(pv))
+		for v := range pv {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		var out []probdb.Alternative
+		for _, v := range vals {
+			if pv[v] >= cfg.MinProb && pv[v] > 0 {
+				out = append(out, probdb.Alternative{Value: v, Prob: pv[v]})
+			}
+		}
+		return out
+	})
+	for oi, o := range c.Objects {
+		if err := res.Relation.Put(probdb.XTuple{Object: o, Alternatives: alts[oi]}); err != nil {
+			return err
+		}
+		res.Chosen[o] = tr.Chosen[o]
+	}
+	return nil
+}
+
+// fuseMaps is the map-based reference implementation of Fuse. It is not on
+// any runtime path: it is kept as the semantic specification the compiled
+// path is tested against (golden_test.go).
+func fuseMaps(d *dataset.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Frozen() {
+		return nil, errors.New("fusion: dataset must be frozen")
+	}
+	if d.Len() == 0 {
+		return nil, errors.New("fusion: empty dataset")
+	}
+	res := newResult(cfg.Strategy)
 	switch cfg.Strategy {
 	case KeepFirst:
 		for _, o := range d.Objects() {
@@ -171,6 +347,8 @@ func Fuse(d *dataset.Dataset, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// fillFromProbs is fillResolved's map-based reference shape: collect the
+// probability table's keys, sort, and emit sequentially.
 func fillFromProbs(res *Result, probs map[model.ObjectID]map[string]float64,
 	chosen map[model.ObjectID]string, minProb float64) error {
 	objs := make([]model.ObjectID, 0, len(probs))

@@ -173,3 +173,11 @@ func TestAccuracyEdgeCases(t *testing.T) {
 		t.Fatal("no overlapping truth should be 0")
 	}
 }
+
+func TestFuseEmptyDataset(t *testing.T) {
+	empty := dataset.New()
+	empty.Freeze()
+	if _, err := Fuse(empty, DefaultConfig()); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}

@@ -1,0 +1,387 @@
+// Compiled (columnar-index) execution of the probing planner.
+//
+// Planner is the reusable form of AnswerObjects: built once from a frozen
+// dataset plus accuracies/dependence, it answers unlimited queries against
+// precompiled claim lists, a dense accuracy vector and precomputed vote
+// weights. The per-query loop is incremental where the map-based reference
+// recomputes: after each probe only the objects covered by the newly probed
+// source are rescored (the reference rescores every query object), and the
+// independence products maintained for the gain heuristic are running
+// products updated in probe order (the reference rebuilds them over the
+// whole probed prefix at every step). Both changes preserve the reference
+// trace bit-for-bit — unchanged objects would rescore to identical floats,
+// and the running products multiply in the exact order the reference loops
+// in — which the golden equivalence tests enforce.
+package queryans
+
+import (
+	"errors"
+	"sort"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/engine"
+	"sourcecurrents/internal/model"
+	"sourcecurrents/internal/stats"
+	"sourcecurrents/internal/truth"
+)
+
+// Planner is a reusable compiled query planner. It is read-only after
+// NewPlanner, so a single Planner may serve Answer calls from any number of
+// concurrent goroutines.
+type Planner struct {
+	c   *dataset.Compiled
+	cfg Config
+	// acc and weights are the dense per-source accuracies and the
+	// precomputed vote weights ln(n·A/(1−A)).
+	acc     []float64
+	weights []float64
+	// dep returns the (symmetric) dependence posterior of a source-index
+	// pair; never nil.
+	dep func(a, b int32) float64
+}
+
+// NewPlanner compiles the configuration against d's columnar index,
+// densifying cfg.Accuracy and wrapping cfg.Dependence. The Planner holds no
+// reference to cfg's maps afterwards.
+func NewPlanner(d *dataset.Dataset, cfg Config) (*Planner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Frozen() {
+		return nil, errors.New("queryans: dataset must be frozen")
+	}
+	c := d.Compiled()
+	acc := make([]float64, len(c.Sources))
+	for i, s := range c.Sources {
+		if a, ok := cfg.Accuracy[s]; ok {
+			acc[i] = a
+		} else {
+			acc[i] = cfg.DefaultAccuracy
+		}
+	}
+	var dep func(a, b int32) float64
+	if cfg.Dependence == nil {
+		dep = func(a, b int32) float64 { return 0 }
+	} else {
+		fn, sources := cfg.Dependence, c.Sources
+		dep = func(a, b int32) float64 { return fn(sources[a], sources[b]) }
+	}
+	return newPlanner(c, cfg, acc, dep), nil
+}
+
+// NewPlannerDense is NewPlanner for callers that already hold dense inputs
+// (the serving session): acc is indexed by c's source order and depTab is
+// the flat nS×nS total (both-direction) dependence posterior table. Both are
+// retained, not copied, and must not be mutated afterwards.
+func NewPlannerDense(d *dataset.Dataset, cfg Config, acc, depTab []float64) (*Planner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Frozen() {
+		return nil, errors.New("queryans: dataset must be frozen")
+	}
+	c := d.Compiled()
+	nS := len(c.Sources)
+	if len(acc) != nS || len(depTab) != nS*nS {
+		return nil, errors.New("queryans: dense input sizes do not match the source count")
+	}
+	dep := func(a, b int32) float64 { return depTab[int(a)*nS+int(b)] }
+	return newPlanner(c, cfg, acc, dep), nil
+}
+
+func newPlanner(c *dataset.Compiled, cfg Config, acc []float64, dep func(a, b int32) float64) *Planner {
+	p := &Planner{c: c, cfg: cfg, acc: acc, dep: dep}
+	p.weights = make([]float64, len(acc))
+	for i, a := range acc {
+		p.weights[i] = truth.WeightOf(a, cfg.N)
+	}
+	return p
+}
+
+// candidate is one source covering at least one query object.
+type candidate struct {
+	si int32
+	// pos lists the covered query positions in query order and posObj the
+	// object index at each position (duplicates in the query stay
+	// duplicated, mirroring the reference coverage lists).
+	pos, posObj []int32
+	// obj/val list the distinct covered (object, value) index pairs.
+	obj, val []int32
+}
+
+// claimRef is one probed source's claim about a query object.
+type claimRef struct{ si, vi int32 }
+
+// answerScratch is one worker's buffer set for rescoring objects.
+type answerScratch struct {
+	rank    []int32
+	groupLo []int32
+	scores  []float64
+	probs   []float64
+}
+
+// Answer probes sources to answer the value of each query object, returning
+// the step-by-step trace. Safe for concurrent callers.
+func (p *Planner) Answer(query []model.ObjectID) (*Result, error) {
+	if len(query) == 0 {
+		return nil, errors.New("queryans: empty query")
+	}
+	c := p.c
+	cfg := p.cfg
+	eng := cfg.Engine()
+
+	// Query positions per distinct object index, in query order.
+	qIdx := make([]int32, len(query))
+	positions := map[int32][]int32{}
+	for i, o := range query {
+		oi, ok := c.ObjectIndex(o)
+		if !ok {
+			qIdx[i] = -1
+			continue
+		}
+		qIdx[i] = oi
+		positions[oi] = append(positions[oi], int32(i))
+	}
+
+	// Candidate sources: those covering at least one query object, compiled
+	// in parallel (one index-addressed slot per source) and kept in source
+	// order — the reference iteration order.
+	perSource := engine.MapN(eng, len(c.Sources), func(si int) candidate {
+		cand := candidate{si: int32(si)}
+		for i, oi := range qIdx {
+			if oi < 0 {
+				continue
+			}
+			k := c.ClaimOf(int32(si), oi)
+			if k < 0 {
+				continue
+			}
+			// Record the distinct (object, value) pair at the object's first
+			// query position only — O(1) dedupe of duplicate query entries.
+			if positions[oi][0] == int32(i) {
+				cand.obj = append(cand.obj, oi)
+				cand.val = append(cand.val, c.SrcVal[k])
+			}
+			cand.pos = append(cand.pos, int32(i))
+			cand.posObj = append(cand.posObj, oi)
+		}
+		return cand
+	})
+	var candidates []candidate
+	for _, cand := range perSource {
+		if len(cand.pos) > 0 {
+			candidates = append(candidates, cand)
+		}
+	}
+	max := len(candidates)
+	if cfg.MaxSources > 0 && cfg.MaxSources < max {
+		max = cfg.MaxSources
+	}
+
+	res := &Result{}
+	probed := make([]int32, 0, max)
+	probedSet := make([]bool, len(c.Sources))
+	// objCov[oi] accumulates the probability that oi is already covered by
+	// an independent probed source (the gain heuristic's state).
+	objCov := map[int32]float64{}
+	// indepAcc[ci] is candidate ci's running independence product over the
+	// probed prefix, multiplied in probe order — exactly the product the
+	// reference rebuilds from scratch at each step.
+	indepAcc := make([]float64, len(candidates))
+	for i := range indepAcc {
+		indepAcc[i] = 1
+	}
+	// probedClaims[oi] collects the probed sources' claims per query object.
+	probedClaims := map[int32][]claimRef{}
+	// cur is the current answer per query position; uncovered objects keep
+	// the empty answer, as in the reference.
+	cur := make([]Answer, len(query))
+	for i, o := range query {
+		cur[i] = Answer{Object: o}
+	}
+	newScratch := func() *answerScratch {
+		return &answerScratch{
+			rank:    make([]int32, max),
+			groupLo: make([]int32, 0, c.MaxGroupsPerObject()+1),
+			scores:  make([]float64, c.MaxGroupsPerObject()),
+			probs:   make([]float64, c.MaxGroupsPerObject()),
+		}
+	}
+
+	for len(probed) < max {
+		ci, gain := p.pickNext(candidates, probedSet, indepAcc, objCov)
+		if ci < 0 {
+			break
+		}
+		next := &candidates[ci]
+		probed = append(probed, next.si)
+		probedSet[next.si] = true
+		// next's running product is Π over the previous probes of
+		// (1−dep(next, p)), multiplied in probe order — bit-identical to the
+		// product the reference rebuilds per covered object at this step.
+		indepNext := indepAcc[ci]
+		// Charge every still-unprobed candidate the new probe exactly once,
+		// keeping each running product in probe order.
+		for j := range candidates {
+			if !probedSet[candidates[j].si] {
+				indepAcc[j] *= 1 - p.dep(candidates[j].si, next.si)
+			}
+		}
+		accNext := p.acc[next.si]
+		for _, oi := range next.posObj {
+			objCov[oi] = 1 - (1-objCov[oi])*(1-accNext*indepNext)
+		}
+		// Incremental answer refresh: only objects the new probe covers can
+		// change; rescore them in parallel (distinct positions per object).
+		// Each object's claim list is kept sorted by (value, source) as it
+		// grows, so rescoring never re-sorts — value-index order is string
+		// order, giving exactly the reference's sorted-value group walk.
+		for i, oi := range next.obj {
+			cl := probedClaims[oi]
+			nc := claimRef{si: next.si, vi: next.val[i]}
+			at := sort.Search(len(cl), func(k int) bool {
+				if cl[k].vi != nc.vi {
+					return cl[k].vi > nc.vi
+				}
+				return cl[k].si > nc.si
+			})
+			cl = append(cl, claimRef{})
+			copy(cl[at+1:], cl[at:])
+			cl[at] = nc
+			probedClaims[oi] = cl
+		}
+		engine.ForNScratch(eng, len(next.obj), newScratch, func(i int, sc *answerScratch) {
+			oi := next.obj[i]
+			a := p.scoreObject(oi, probedClaims[oi], sc)
+			for _, pos := range positions[oi] {
+				cur[pos] = a
+			}
+		})
+		answers := make([]Answer, len(cur))
+		copy(answers, cur)
+		res.Steps = append(res.Steps, Step{Source: c.Sources[next.si], Gain: gain, Answers: answers})
+		if cfg.StopProb > 0 && stable(answers, query, cfg.StopProb) {
+			break
+		}
+	}
+	if len(res.Steps) > 0 {
+		res.Final = res.Steps[len(res.Steps)-1].Answers
+	}
+	res.Probed = make([]model.SourceID, len(probed))
+	for i, si := range probed {
+		res.Probed[i] = c.Sources[si]
+	}
+	return res, nil
+}
+
+// pickNext chooses the next candidate under the configured policy,
+// mirroring the reference's iteration order (candidates ascending by source
+// id, first maximum wins).
+func (p *Planner) pickNext(candidates []candidate, probedSet []bool,
+	indepAcc []float64, objCov map[int32]float64) (int, float64) {
+	best, bestGain := -1, -1.0
+	for ci := range candidates {
+		cand := &candidates[ci]
+		if probedSet[cand.si] {
+			continue
+		}
+		var gain float64
+		switch p.cfg.Policy {
+		case ByID:
+			return ci, 0
+		case AccuracyCoverage:
+			gain = p.acc[cand.si] * float64(len(cand.pos))
+		case GreedyGain:
+			// Uncovered mass sums per query entry (duplicates included),
+			// not per distinct object — the reference's coverage semantics.
+			var uncovered float64
+			for _, oi := range cand.posObj {
+				uncovered += 1 - objCov[oi]
+			}
+			gain = p.acc[cand.si] * indepAcc[ci] * uncovered
+		}
+		if gain > bestGain {
+			best, bestGain = ci, gain
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bestGain
+}
+
+// scoreObject reruns dependence-discounted accuracy-weighted voting for one
+// query object over the probed claims (pre-sorted by value then source),
+// mirroring the reference computeAnswers: values in sorted order, sources
+// ranked by (accuracy desc, id asc), later same-value sources discounted by
+// their dependence on earlier ones, softmax over the sorted candidates.
+func (p *Planner) scoreObject(oi int32, cl []claimRef, sc *answerScratch) Answer {
+	c := p.c
+	o := c.Objects[oi]
+	if len(cl) == 0 {
+		return Answer{Object: o}
+	}
+	groupLo := sc.groupLo[:0]
+	scores := sc.scores[:0]
+	for lo := 0; lo < len(cl); {
+		hi := lo
+		for hi < len(cl) && cl[hi].vi == cl[lo].vi {
+			hi++
+		}
+		groupLo = append(groupLo, int32(lo))
+		scores = append(scores, p.scoreGroup(cl[lo:hi], sc))
+		lo = hi
+	}
+	nGroups := len(scores)
+	probs := sc.probs[:nGroups]
+	// Candidate sets are never empty here, so NormalizeLogInto cannot fail.
+	_ = stats.NormalizeLogInto(probs, scores)
+	bestK, bestP := 0, -1.0
+	for k := 0; k < nGroups; k++ {
+		if probs[k] > bestP {
+			bestK, bestP = k, probs[k]
+		}
+	}
+	return Answer{Object: o, Value: c.Values[cl[groupLo[bestK]].vi], Prob: bestP}
+}
+
+// scoreGroup scores one value group: rank the asserting probed sources by
+// (accuracy desc, id asc) and sum each one's weight times the probability it
+// did not copy from an earlier-ranked group member.
+func (p *Planner) scoreGroup(group []claimRef, sc *answerScratch) float64 {
+	k := len(group)
+	rank := sc.rank[:k]
+	for i := range rank {
+		rank[i] = int32(i)
+	}
+	// Insertion sort over a strict total order (ids are distinct), so the
+	// permutation matches the reference's sort.Slice result exactly.
+	for i := 1; i < k; i++ {
+		r := rank[i]
+		j := i - 1
+		for j >= 0 {
+			a, b := group[r].si, group[rank[j]].si
+			aa, ab := p.acc[a], p.acc[b]
+			if aa != ab {
+				if !(aa > ab) {
+					break
+				}
+			} else if !(a < b) {
+				break
+			}
+			rank[j+1] = rank[j]
+			j--
+		}
+		rank[j+1] = r
+	}
+	var score float64
+	for i := 0; i < k; i++ {
+		s := group[rank[i]].si
+		f := 1.0
+		for j := 0; j < i; j++ {
+			f *= 1 - p.cfg.CopyRate*p.dep(s, group[rank[j]].si)
+		}
+		score += p.weights[s] * f
+	}
+	return score
+}

@@ -1,0 +1,36 @@
+package queryans
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The engine contract extended to the application layer: repeated runs and
+// every Parallelism setting produce bit-identical traces. The dataset is
+// rebuilt per run so Go's randomized map iteration order gets a fresh
+// chance to leak into the output if any path forgets to canonicalize.
+
+func TestAnswerDeterministicAcrossRunsAndParallelism(t *testing.T) {
+	for _, seed := range []int64{5, 21} {
+		var want *Result
+		for run := 0; run < 3; run++ {
+			d, cfg := goldenQueryWorld(t, seed)
+			query := d.Objects()
+			for _, p := range []int{1, 4, 16} {
+				run := cfg
+				run.Parallelism = p
+				got, err := AnswerObjects(d, query, run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want == nil {
+					want = got
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d: trace differs across runs (Parallelism=%d)", seed, p)
+				}
+			}
+		}
+	}
+}

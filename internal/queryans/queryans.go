@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/engine"
 	"sourcecurrents/internal/model"
 	"sourcecurrents/internal/truth"
 )
@@ -67,6 +68,16 @@ type Config struct {
 	// StopProb stops early once every query object's top value reaches
 	// this posterior (0 disables early stopping).
 	StopProb float64
+	// Parallelism is the worker count for the planner's bulk phases
+	// (candidate compilation and the per-probe answer refresh). Values <= 0
+	// select runtime.GOMAXPROCS(0); 1 forces sequential execution. Results
+	// are bit-identical at every setting.
+	Parallelism int
+}
+
+// Engine returns the execution-engine configuration for this planner.
+func (c Config) Engine() engine.Config {
+	return engine.Config{Workers: c.Parallelism}
 }
 
 // DefaultConfig returns the planner defaults.
@@ -123,8 +134,38 @@ type Result struct {
 }
 
 // AnswerObjects probes sources to answer "what is the value of each query
-// object", returning the step-by-step trace.
+// object", returning the step-by-step trace. It executes on the dataset's
+// compiled columnar index via a one-shot Planner; the trace is bit-identical
+// to the map-based reference path (answerObjectsMaps), which the golden
+// equivalence tests enforce. Callers issuing many queries against one
+// dataset should build a Planner (or a session.Session) once instead.
 func AnswerObjects(d *dataset.Dataset, query []model.ObjectID, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Frozen() {
+		return nil, errors.New("queryans: dataset must be frozen")
+	}
+	// Compiled is non-nil for every frozen dataset; the fallback is
+	// defensive only.
+	if d.Compiled() != nil {
+		p, err := NewPlanner(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return p.Answer(query)
+	}
+	return answerObjectsMaps(d, query, cfg)
+}
+
+// answerObjectsMaps is the map-based reference implementation of
+// AnswerObjects. It is not on any runtime path: it is kept as the semantic
+// specification the compiled incremental Planner is tested against
+// (golden_test.go). It deliberately recomputes every answer and every
+// independence product from scratch after each probe — the O(P²·|query|)
+// behavior the Planner makes incremental without changing a single bit of
+// the output.
+func answerObjectsMaps(d *dataset.Dataset, query []model.ObjectID, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

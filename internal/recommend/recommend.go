@@ -18,6 +18,7 @@ import (
 	"sourcecurrents/internal/dataset"
 	"sourcecurrents/internal/depen"
 	"sourcecurrents/internal/dissim"
+	"sourcecurrents/internal/engine"
 	"sourcecurrents/internal/model"
 	"sourcecurrents/internal/temporal"
 )
@@ -61,10 +62,95 @@ func (w Weights) Validate() error {
 	return nil
 }
 
+// Options tunes profile building.
+type Options struct {
+	// Parallelism is the worker count for the per-source profile loop.
+	// Values <= 0 select runtime.GOMAXPROCS(0); 1 forces sequential
+	// execution. Results are bit-identical at every setting.
+	Parallelism int
+}
+
+// Engine returns the execution-engine configuration for profile building.
+func (o Options) Engine() engine.Config {
+	return engine.Config{Workers: o.Parallelism}
+}
+
 // BuildProfiles derives profiles from a dataset plus the discovery results.
 // dep may be nil (all sources independent); reports may be nil (neutral
 // freshness).
 func BuildProfiles(d *dataset.Dataset, dep *depen.Result,
+	reports map[model.SourceID]*temporal.SourceReport) []Profile {
+	return BuildProfilesOpt(d, dep, reports, Options{})
+}
+
+// BuildProfilesOpt is BuildProfiles with execution options. It runs over the
+// dataset's compiled columnar index — the O(S²) independence products read a
+// flat directional copy-probability table instead of nested maps — and is
+// bit-identical to the map-based reference path (buildProfilesMaps), which
+// the golden equivalence tests enforce.
+func BuildProfilesOpt(d *dataset.Dataset, dep *depen.Result,
+	reports map[model.SourceID]*temporal.SourceReport, opt Options) []Profile {
+	c := d.Compiled()
+	// Compiled is non-nil for every frozen dataset; the fallback is
+	// defensive only (an unfrozen dataset yields no sources either way).
+	if c == nil {
+		return buildProfilesMaps(d, dep, reports)
+	}
+	nS := len(c.Sources)
+	nObj := len(c.Objects)
+	// copyTab[i*nS+j] is P(i copies j) — the dense form of dep.CopyProb.
+	var copyTab []float64
+	if dep != nil {
+		copyTab = make([]float64, nS*nS)
+		for _, pd := range dep.AllPairs {
+			ai, aok := c.SourceIndex(pd.Pair.A)
+			bi, bok := c.SourceIndex(pd.Pair.B)
+			if !aok || !bok {
+				continue
+			}
+			copyTab[int(ai)*nS+int(bi)] = pd.ProbAB
+			copyTab[int(bi)*nS+int(ai)] = pd.ProbBA
+		}
+	}
+	return engine.MapN(opt.Engine(), nS, func(si int) Profile {
+		s := c.Sources[si]
+		cov := 0.0
+		if nObj > 0 {
+			cov = float64(c.SrcStart[si+1]-c.SrcStart[si]) / float64(nObj)
+		}
+		p := Profile{Source: s, Coverage: cov, Freshness: 0.5, Accuracy: 0.5}
+		if dep != nil && dep.Truth != nil {
+			if a, ok := dep.Truth.Accuracy[s]; ok {
+				p.Accuracy = a
+			}
+		}
+		p.Independence = 1
+		if copyTab != nil {
+			row := copyTab[si*nS : (si+1)*nS]
+			for oi, cp := range row {
+				if oi == si {
+					continue
+				}
+				p.Independence *= 1 - cp
+			}
+		}
+		if rep, ok := reports[s]; ok {
+			// Freshness: 1/(1+meanLag); coverage from the temporal report
+			// overrides the snapshot ratio when available.
+			p.Freshness = 1 / (1 + rep.Metrics.MeanLag)
+			if rep.Metrics.Periods > 0 {
+				p.Coverage = rep.Metrics.Coverage
+			}
+			p.Accuracy = rep.Metrics.Exactness
+		}
+		return p
+	})
+}
+
+// buildProfilesMaps is the map-based reference implementation of
+// BuildProfiles. It is not on any runtime path: it is kept as the semantic
+// specification the compiled path is tested against (golden_test.go).
+func buildProfilesMaps(d *dataset.Dataset, dep *depen.Result,
 	reports map[model.SourceID]*temporal.SourceReport) []Profile {
 	var out []Profile
 	for _, s := range d.Sources() {
@@ -122,6 +208,9 @@ func Rank(profiles []Profile, w Weights) ([]Profile, error) {
 
 // Top returns the k most trusted profiles.
 func Top(profiles []Profile, w Weights, k int) ([]Profile, error) {
+	if k < 0 {
+		return nil, errors.New("recommend: k must be >= 0")
+	}
 	ranked, err := Rank(profiles, w)
 	if err != nil {
 		return nil, err
@@ -148,6 +237,9 @@ type DiversePick struct {
 // recommendation mode.
 func TopDiverse(profiles []Profile, w Weights, diss *dissim.Result,
 	k, extraDissent int) ([]DiversePick, error) {
+	if extraDissent < 0 {
+		return nil, errors.New("recommend: extraDissent must be >= 0")
+	}
 	trusted, err := Top(profiles, w, k)
 	if err != nil {
 		return nil, err

@@ -136,3 +136,13 @@ func TestTopDiverseIncludesDissenter(t *testing.T) {
 		t.Fatalf("plain picks = %d", len(plain))
 	}
 }
+
+func TestNegativeCountsRejected(t *testing.T) {
+	profiles := []Profile{{Source: "S1", Accuracy: 0.9, Coverage: 1, Freshness: 0.5, Independence: 1}}
+	if _, err := Top(profiles, DefaultWeights(), -1); err == nil {
+		t.Fatal("negative k accepted by Top")
+	}
+	if _, err := TopDiverse(profiles, DefaultWeights(), nil, 1, -1); err == nil {
+		t.Fatal("negative extraDissent accepted by TopDiverse")
+	}
+}

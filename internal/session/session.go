@@ -1,0 +1,238 @@
+// Package session implements the long-lived query-serving layer over a
+// frozen dataset.
+//
+// The §4 applications all sit on top of the same expensive precompute: run
+// copy-aware truth discovery once to obtain per-source accuracies and the
+// pairwise dependence table. One-shot entry points (queryans.AnswerObjects,
+// fusion.Fuse, recommend.BuildProfiles) re-derive that state on every call,
+// which is the wrong shape for a server answering many queries against one
+// corpus. A Session amortizes the precompute across the query stream — the
+// series-of-queries argument: pay the index/derivation cost once, then
+// answer each query against cached state.
+//
+// Construction eagerly compiles the dataset's columnar index and runs
+// depen.Detect a single time. Everything the serving calls touch afterwards
+// — the dense accuracy vector, the flat source×source dependence table, the
+// compiled query planner, the trust profiles — is immutable, so a single
+// Session serves AnswerObjects, Fuse, Link and RecommendSources calls from
+// any number of concurrent goroutines, each call reading shared state and
+// writing only its own result. Results are bit-identical to the one-shot
+// entry points fed the same discovery result, which the equivalence tests
+// enforce.
+package session
+
+import (
+	"errors"
+	"sync"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/depen"
+	"sourcecurrents/internal/dissim"
+	"sourcecurrents/internal/fusion"
+	"sourcecurrents/internal/linkage"
+	"sourcecurrents/internal/model"
+	"sourcecurrents/internal/queryans"
+	"sourcecurrents/internal/recommend"
+	"sourcecurrents/internal/temporal"
+)
+
+// Config parameterizes a Session. Start from DefaultConfig.
+type Config struct {
+	// Depen configures the one-time precompute (copy-aware truth discovery
+	// and dependence detection).
+	Depen depen.Config
+	// Query is the template for AnswerObjects calls. Its Accuracy and
+	// Dependence fields are ignored: the session substitutes its cached
+	// accuracies and dependence table.
+	Query queryans.Config
+	// Fusion is the template for Fuse calls. With the DependenceAware
+	// strategy (the default) its solver configs are ignored — the cached
+	// precompute is reused; other strategies run their (cheap) solvers per
+	// call.
+	Fusion fusion.Config
+	// Reports optionally supplies temporal quality reports consumed by the
+	// trust profiles (nil for neutral freshness).
+	Reports map[model.SourceID]*temporal.SourceReport
+	// Parallelism is the worker count for the precompute and every serving
+	// loop; when non-zero it overrides the embedded configs' knobs. Values
+	// <= 0 select runtime.GOMAXPROCS(0); 1 forces sequential execution.
+	// Results are bit-identical at every setting.
+	Parallelism int
+}
+
+// DefaultConfig returns the standard serving parameters.
+func DefaultConfig() Config {
+	return Config{
+		Depen:  depen.DefaultConfig(),
+		Query:  queryans.DefaultConfig(),
+		Fusion: fusion.DefaultConfig(),
+	}
+}
+
+// effective propagates a non-zero Parallelism into every embedded config.
+func (c Config) effective() Config {
+	if c.Parallelism != 0 {
+		c.Depen.Parallelism = c.Parallelism
+		c.Query.Parallelism = c.Parallelism
+		c.Fusion.Parallelism = c.Parallelism
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Depen.Validate(); err != nil {
+		return err
+	}
+	if err := c.Query.Validate(); err != nil {
+		return err
+	}
+	return c.Fusion.Validate()
+}
+
+// Session is the reusable serving state: built once, read-only afterwards,
+// safe for concurrent calls.
+type Session struct {
+	d   *dataset.Dataset
+	cfg Config
+	dep *depen.Result
+	// acc is the dense per-source accuracy vector and depTab the flat
+	// source×source total dependence posterior, both in compiled source
+	// order.
+	acc     []float64
+	depTab  []float64
+	planner *queryans.Planner
+
+	profilesOnce sync.Once
+	profiles     []recommend.Profile
+}
+
+// New builds a Session from a frozen dataset: compiles the columnar index,
+// runs truth discovery and dependence detection once, and precompiles the
+// query planner against the cached state.
+func New(d *dataset.Dataset, cfg Config) (*Session, error) {
+	cfg = cfg.effective()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if d == nil || !d.Frozen() {
+		return nil, errors.New("session: dataset must be frozen")
+	}
+	if d.Len() == 0 {
+		return nil, errors.New("session: empty dataset")
+	}
+	c := d.Compiled()
+	dep, err := depen.Detect(d, cfg.Depen)
+	if err != nil {
+		return nil, err
+	}
+	nS := len(c.Sources)
+	s := &Session{
+		d:      d,
+		cfg:    cfg,
+		dep:    dep,
+		acc:    make([]float64, nS),
+		depTab: make([]float64, nS*nS),
+	}
+	for i, src := range c.Sources {
+		s.acc[i] = dep.Truth.Accuracy[src]
+	}
+	for _, pd := range dep.AllPairs {
+		ai, aok := c.SourceIndex(pd.Pair.A)
+		bi, bok := c.SourceIndex(pd.Pair.B)
+		if !aok || !bok {
+			continue
+		}
+		s.depTab[int(ai)*nS+int(bi)] = pd.Prob
+		s.depTab[int(bi)*nS+int(ai)] = pd.Prob
+	}
+	qcfg := cfg.Query
+	qcfg.Accuracy = nil
+	qcfg.Dependence = nil
+	s.planner, err = queryans.NewPlannerDense(d, qcfg, s.acc, s.depTab)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dataset returns the served dataset.
+func (s *Session) Dataset() *dataset.Dataset { return s.d }
+
+// Dependence returns the cached discovery result. Callers must treat it as
+// read-only.
+func (s *Session) Dependence() *depen.Result { return s.dep }
+
+// Accuracy returns the cached per-source accuracies. Callers must treat the
+// map as read-only.
+func (s *Session) Accuracy() map[model.SourceID]float64 { return s.dep.Truth.Accuracy }
+
+// AnswerObjects answers an online query over the cached accuracies,
+// dependence table and compiled claim lists — no per-call re-derivation.
+// The trace is bit-identical to a one-shot queryans.AnswerObjects call
+// configured with this session's discovery result.
+func (s *Session) AnswerObjects(query []model.ObjectID) (*queryans.Result, error) {
+	return s.planner.Answer(query)
+}
+
+// AnswerObjectsWith answers a query under a per-call planner configuration
+// (policy, probe cap, early stopping) while still reading the session's
+// cached accuracies and dependence table — qcfg's Accuracy and Dependence
+// fields are ignored. Building the lightweight per-call planner costs O(S);
+// the precompute stays amortized.
+func (s *Session) AnswerObjectsWith(query []model.ObjectID, qcfg queryans.Config) (*queryans.Result, error) {
+	if qcfg.Parallelism == 0 && s.cfg.Parallelism != 0 {
+		qcfg.Parallelism = s.cfg.Parallelism
+	}
+	qcfg.Accuracy = nil
+	qcfg.Dependence = nil
+	p, err := queryans.NewPlannerDense(s.d, qcfg, s.acc, s.depTab)
+	if err != nil {
+		return nil, err
+	}
+	return p.Answer(query)
+}
+
+// Fuse resolves all conflicts under the configured fusion strategy. The
+// default DependenceAware strategy reuses the cached precompute. The
+// Chosen map and Relation are rebuilt per call and owned by the caller,
+// but the embedded Truth/Depen fields alias the session's shared cache and
+// must be treated as read-only.
+func (s *Session) Fuse() (*fusion.Result, error) {
+	if s.cfg.Fusion.Strategy == fusion.DependenceAware {
+		return fusion.FuseWith(s.d, s.cfg.Fusion, s.dep)
+	}
+	return fusion.Fuse(s.d, s.cfg.Fusion)
+}
+
+// Link clusters alternative value representations per object and rewrites
+// the dataset with canonical values. Linkage is configured per call; the
+// session's cached state is not consulted (linkage precedes discovery in
+// the §4 pipeline), but serving it here keeps the one-stop contract.
+func (s *Session) Link(cfg linkage.Config) (*linkage.Result, error) {
+	return linkage.Link(s.d, cfg)
+}
+
+// Profiles returns the cached trust profiles, building them on first use
+// from the session's discovery result (and configured temporal reports).
+// Callers must treat the slice as read-only.
+func (s *Session) Profiles() []recommend.Profile {
+	s.profilesOnce.Do(func() {
+		s.profiles = recommend.BuildProfilesOpt(s.d, s.dep, s.cfg.Reports,
+			recommend.Options{Parallelism: s.cfg.Parallelism})
+	})
+	return s.profiles
+}
+
+// RecommendSources returns the k most trusted sources under w, ranking the
+// cached profiles.
+func (s *Session) RecommendSources(w recommend.Weights, k int) ([]recommend.Profile, error) {
+	return recommend.Top(s.Profiles(), w, k)
+}
+
+// RecommendDiverse returns k trusted sources plus dissenting voices that
+// dissimilarity-depend on them.
+func (s *Session) RecommendDiverse(w recommend.Weights, diss *dissim.Result,
+	k, extraDissent int) ([]recommend.DiversePick, error) {
+	return recommend.TopDiverse(s.Profiles(), w, diss, k, extraDissent)
+}

@@ -10,10 +10,12 @@
 package winnow
 
 import (
+	"errors"
 	"hash/fnv"
 	"sort"
 
 	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/engine"
 	"sourcecurrents/internal/model"
 )
 
@@ -23,10 +25,30 @@ import (
 type Config struct {
 	K int // k-gram size (tokens)
 	W int // winnowing window size
+	// Parallelism is the worker count for fingerprinting and pairwise
+	// scoring. Values <= 0 select runtime.GOMAXPROCS(0); 1 forces
+	// sequential execution. Results are bit-identical at every setting.
+	Parallelism int
 }
 
 // DefaultConfig uses k=3 tokens and window 4.
 func DefaultConfig() Config { return Config{K: 3, W: 4} }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.K < 1 {
+		return errors.New("winnow: K must be >= 1")
+	}
+	if c.W < 1 {
+		return errors.New("winnow: W must be >= 1")
+	}
+	return nil
+}
+
+// Engine returns the execution-engine configuration for this detector.
+func (c Config) Engine() engine.Config {
+	return engine.Config{Workers: c.Parallelism}
+}
 
 // Fingerprint is the winnowed hash set of one source.
 type Fingerprint map[uint64]bool
@@ -38,6 +60,18 @@ func tokensOf(d *dataset.Dataset, s model.SourceID) []string {
 	for _, o := range d.ObjectsOf(s) {
 		v, _ := d.Value(s, o)
 		toks = append(toks, o.Entity, o.Attribute, v)
+	}
+	return toks
+}
+
+// tokensOfCompiled is tokensOf over the compiled claim lists: SrcObj is
+// ascending per source, which is exactly ObjectsOf's sorted order.
+func tokensOfCompiled(c *dataset.Compiled, si int) []string {
+	lo, hi := c.SrcStart[si], c.SrcStart[si+1]
+	toks := make([]string, 0, 3*(hi-lo))
+	for k := lo; k < hi; k++ {
+		o := c.Objects[c.SrcObj[k]]
+		toks = append(toks, o.Entity, o.Attribute, c.Values[c.SrcVal[k]])
 	}
 	return toks
 }
@@ -118,8 +152,51 @@ type Pair struct {
 }
 
 // DetectPairs fingerprints every source and returns all pairs with
-// similarity >= threshold, sorted by decreasing similarity.
-func DetectPairs(d *dataset.Dataset, cfg Config, threshold float64) []Pair {
+// similarity >= threshold, sorted by decreasing similarity. Fingerprinting
+// and pairwise scoring run on the compiled claim lists over the parallel
+// engine; the result is bit-identical to the map-based reference path
+// (detectPairsMaps), which the golden equivalence tests enforce.
+func DetectPairs(d *dataset.Dataset, cfg Config, threshold float64) ([]Pair, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Frozen() {
+		return nil, errors.New("winnow: dataset must be frozen")
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, errors.New("winnow: threshold must be in [0,1]")
+	}
+	c := d.Compiled()
+	// Compiled is non-nil for every frozen dataset; the fallback is
+	// defensive only.
+	if c == nil {
+		return detectPairsMaps(d, cfg, threshold), nil
+	}
+	eng := cfg.Engine()
+	fps := engine.MapN(eng, len(c.Sources), func(si int) Fingerprint {
+		return winnowHashes(hashKGrams(tokensOfCompiled(c, si), cfg.K), cfg.W)
+	})
+	sims := engine.MapPairs(eng, len(c.Sources), func(i, j int) float64 {
+		return Similarity(fps[i], fps[j])
+	})
+	var out []Pair
+	k := 0
+	for i := 0; i < len(c.Sources); i++ {
+		for j := i + 1; j < len(c.Sources); j++ {
+			if sims[k] >= threshold {
+				out = append(out, Pair{Pair: model.NewSourcePair(c.Sources[i], c.Sources[j]), Sim: sims[k]})
+			}
+			k++
+		}
+	}
+	sortPairs(out)
+	return out, nil
+}
+
+// detectPairsMaps is the map-based reference implementation of DetectPairs.
+// It is not on any runtime path: it is kept as the semantic specification
+// the compiled path is tested against (golden_test.go).
+func detectPairsMaps(d *dataset.Dataset, cfg Config, threshold float64) []Pair {
 	fps := map[model.SourceID]Fingerprint{}
 	for _, s := range d.Sources() {
 		fps[s] = FingerprintSource(d, s, cfg)
@@ -134,11 +211,17 @@ func DetectPairs(d *dataset.Dataset, cfg Config, threshold float64) []Pair {
 			}
 		}
 	}
+	sortPairs(out)
+	return out
+}
+
+// sortPairs orders scored pairs by decreasing similarity, ties by pair name
+// — a strict total order, so the permutation is deterministic.
+func sortPairs(out []Pair) {
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Sim != out[b].Sim {
 			return out[a].Sim > out[b].Sim
 		}
 		return out[a].Pair.String() < out[b].Pair.String()
 	})
-	return out
 }

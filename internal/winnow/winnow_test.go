@@ -76,11 +76,42 @@ func TestSimilarity(t *testing.T) {
 	}
 }
 
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.K = 0 },
+		func(c *Config) { c.W = 0 },
+	} {
+		c := DefaultConfig()
+		mut(&c)
+		if c.Validate() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}
+	d := dataset.Table1()
+	if _, err := DetectPairs(d, Config{K: 0, W: 4}, 0.5); err == nil {
+		t.Fatal("invalid config accepted by DetectPairs")
+	}
+	if _, err := DetectPairs(d, DefaultConfig(), 1.5); err == nil {
+		t.Fatal("out-of-range threshold accepted")
+	}
+	unfrozen := dataset.New()
+	_ = unfrozen.Add(model.NewClaim("S1", model.Obj("a", "v"), "1"))
+	if _, err := DetectPairs(unfrozen, DefaultConfig(), 0.5); err == nil {
+		t.Fatal("unfrozen dataset accepted")
+	}
+}
+
 func TestDetectPairsTable1(t *testing.T) {
 	// S4 is an exact copy of S3: their fingerprints are identical, so the
 	// baseline finds them trivially. S5 differs in one value.
 	d := dataset.Table1()
-	pairs := DetectPairs(d, DefaultConfig(), 0.0)
+	pairs, err := DetectPairs(d, DefaultConfig(), 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pairs) != 10 {
 		t.Fatalf("pairs = %d, want all 10", len(pairs))
 	}
@@ -88,7 +119,10 @@ func TestDetectPairsTable1(t *testing.T) {
 		t.Fatalf("top pair = %+v", pairs[0])
 	}
 	// Thresholding keeps only near-duplicates.
-	high := DetectPairs(d, DefaultConfig(), 0.99)
+	high, err := DetectPairs(d, DefaultConfig(), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(high) != 1 {
 		t.Fatalf("high-threshold pairs = %v", high)
 	}
@@ -104,7 +138,10 @@ func TestBaselineBlindToAccuracy(t *testing.T) {
 		_ = d.Add(model.NewClaim("B", o, "T"))
 	}
 	d.Freeze()
-	pairs := DetectPairs(d, DefaultConfig(), 0.9)
+	pairs, err := DetectPairs(d, DefaultConfig(), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pairs) != 1 {
 		t.Fatalf("accurate independent pair not (wrongly) flagged: %v", pairs)
 	}

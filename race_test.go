@@ -117,3 +117,48 @@ func TestParallelPathsUnderRaceDetector(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSessionUnderRaceDetector hammers one serving Session from many
+// goroutines through the facade while its inner loops also run parallel
+// workers, so -race watches both layers of sharing at once (complementing
+// internal/session's race suite).
+func TestSessionUnderRaceDetector(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race workload skipped in short mode")
+	}
+	d := raceSnapshotDataset(t)
+	cfg := sourcecurrents.DefaultSessionConfig()
+	cfg.Parallelism = 8
+	s, err := sourcecurrents.NewSession(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := d.Objects()
+	var wg sync.WaitGroup
+	errs := make([]error, 12)
+	for g := 0; g < len(errs); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					_, errs[g] = s.AnswerObjects(objs[g%len(objs):])
+				case 1:
+					_, errs[g] = s.Fuse()
+				case 2:
+					_, errs[g] = s.RecommendSources(sourcecurrents.DefaultTrustWeights(), 4)
+				}
+				if errs[g] != nil {
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}

@@ -14,6 +14,10 @@
 //     Example 2.2).
 //   - Applications (§4): Fuse (data fusion), Link (record linkage),
 //     AnswerQuery (online query answering), RecommendSources.
+//   - Serving: Session (NewSession) — the long-lived query-serving layer
+//     that runs the expensive truth + dependence precompute once and then
+//     answers unlimited AnswerObjects / Fuse / Link / RecommendSources
+//     calls against cached state, safely from concurrent goroutines.
 //
 // Quickstart:
 //
@@ -39,6 +43,7 @@ import (
 	"sourcecurrents/internal/model"
 	"sourcecurrents/internal/queryans"
 	"sourcecurrents/internal/recommend"
+	"sourcecurrents/internal/session"
 	"sourcecurrents/internal/temporal"
 	"sourcecurrents/internal/truth"
 )
@@ -63,13 +68,13 @@ type (
 	Dataset = dataset.Dataset
 )
 
-// Parallel execution. Every iterative solver config (TruthConfig,
-// DependenceConfig, TemporalConfig, WindowedTemporalConfig) carries a
-// Parallelism knob: the worker count for its hot loop. Values <= 0 select
-// DefaultParallelism(); 1 forces sequential execution. Results are
-// bit-identical at every setting — workers write index-addressed slots and
-// merges run in canonical source/object order — so parallelism is purely a
-// throughput knob.
+// Parallel execution. Every solver and application config (TruthConfig,
+// DependenceConfig, TemporalConfig, WindowedTemporalConfig, QueryConfig,
+// FusionConfig, SessionConfig) carries a Parallelism knob: the worker count
+// for its hot loop. Values <= 0 select DefaultParallelism(); 1 forces
+// sequential execution. Results are bit-identical at every setting —
+// workers write index-addressed slots and merges run in canonical
+// source/object order — so parallelism is purely a throughput knob.
 
 // DefaultParallelism returns the worker count a non-positive Parallelism
 // resolves to: runtime.GOMAXPROCS(0).
@@ -315,6 +320,30 @@ func DefaultQueryConfig() QueryConfig { return queryans.DefaultConfig() }
 // query object, avoiding sources dependent on those already visited.
 func AnswerQuery(d *Dataset, query []ObjectID, cfg QueryConfig) (*QueryResult, error) {
 	return queryans.AnswerObjects(d, query, cfg)
+}
+
+// Serving layer.
+type (
+	// Session is the long-lived query-serving layer: built once from a
+	// frozen dataset, it caches the compiled columnar index, the discovered
+	// accuracies and the dependence table, then serves unlimited §4
+	// application calls concurrently.
+	Session = session.Session
+	// SessionConfig parameterizes session construction.
+	SessionConfig = session.Config
+)
+
+// DefaultSessionConfig returns the standard serving parameters
+// (dependence-aware precompute, greedy-gain query planning,
+// dependence-aware fusion).
+func DefaultSessionConfig() SessionConfig { return session.DefaultConfig() }
+
+// NewSession runs the one-time precompute (columnar compilation, truth
+// discovery, dependence detection) and returns the reusable serving
+// session. Every serving call is bit-identical to the corresponding
+// one-shot entry point fed the same discovery result.
+func NewSession(d *Dataset, cfg SessionConfig) (*Session, error) {
+	return session.New(d, cfg)
 }
 
 // Source recommendation.

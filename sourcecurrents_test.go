@@ -2,8 +2,10 @@ package sourcecurrents_test
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"sourcecurrents"
 )
@@ -126,6 +128,91 @@ func TestPublicAPIQueryAndRecommend(t *testing.T) {
 	if err != nil || len(top) != 3 {
 		t.Fatalf("recommend: %v, %d", err, len(top))
 	}
+}
+
+func TestPublicAPISession(t *testing.T) {
+	ds := buildTable1(t)
+	s, err := sourcecurrents.NewSession(ds, sourcecurrents.DefaultSessionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := s.AnswerObjects(ds.Objects())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The session's answers are bit-identical to a one-shot AnswerQuery
+	// configured with the same discovery result.
+	oneShot := sourcecurrents.DefaultQueryConfig()
+	oneShot.Accuracy = s.Dependence().Truth.Accuracy
+	oneShot.Dependence = s.Dependence().DependenceProb
+	want, err := sourcecurrents.AnswerQuery(ds, ds.Objects(), oneShot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ans, want) {
+		t.Fatal("session answers differ from one-shot AnswerQuery")
+	}
+	if _, err := s.Fuse(); err != nil {
+		t.Fatal(err)
+	}
+	top, err := s.RecommendSources(sourcecurrents.DefaultTrustWeights(), 3)
+	if err != nil || len(top) != 3 {
+		t.Fatalf("session recommend: %v, %d", err, len(top))
+	}
+}
+
+// TestSessionAmortizesPrecompute pins the serving-layer acceptance bar: 100
+// AnswerObjects calls through one Session must deliver at least 5x the
+// throughput of per-call answering (which re-derives accuracies and
+// dependence each time). The real gap is orders of magnitude — the 5x bar
+// leaves room for scheduler noise. Skipped in -short mode.
+func TestSessionAmortizesPrecompute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in short mode")
+	}
+	ds := benchSnapshotWorld(t, 50, 200)
+	// A serving-shaped workload: a slice of the corpus with a probing
+	// budget, identical on both paths.
+	scfg := sourcecurrents.DefaultSessionConfig()
+	scfg.Query.MaxSources = 20
+	s, err := sourcecurrents.NewSession(ds, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := ds.Objects()[:40]
+
+	const sessionCalls = 100
+	start := time.Now()
+	for i := 0; i < sessionCalls; i++ {
+		if _, err := s.AnswerObjects(query); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sessionTime := time.Since(start)
+
+	const perCallCalls = 10
+	start = time.Now()
+	for i := 0; i < perCallCalls; i++ {
+		dres, err := sourcecurrents.DetectDependence(ds, sourcecurrents.DefaultDependenceConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sourcecurrents.DefaultQueryConfig()
+		cfg.MaxSources = 20
+		cfg.Accuracy = dres.Truth.Accuracy
+		cfg.Dependence = dres.DependenceProb
+		if _, err := sourcecurrents.AnswerQuery(ds, query, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perCallTime := time.Since(start)
+
+	sessionQPS := sessionCalls / sessionTime.Seconds()
+	perCallQPS := perCallCalls / perCallTime.Seconds()
+	if sessionQPS < 5*perCallQPS {
+		t.Fatalf("session throughput %.1f q/s < 5x per-call %.1f q/s", sessionQPS, perCallQPS)
+	}
+	t.Logf("session %.0f q/s vs per-call %.1f q/s (%.0fx)", sessionQPS, perCallQPS, sessionQPS/perCallQPS)
 }
 
 func TestPublicAPITemporal(t *testing.T) {
