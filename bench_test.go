@@ -6,6 +6,7 @@
 package sourcecurrents_test
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -285,6 +286,63 @@ func BenchmarkSessionAnswerPerCall(b *testing.B) {
 				cfg.Accuracy = dres.Truth.Accuracy
 				cfg.Dependence = dres.DependenceProb
 				if _, err := sourcecurrents.AnswerQuery(d, query, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotLoad* measure the server cold-start path: decoding a
+// session snapshot (dataset + cached precompute) versus BenchmarkSessionBuild,
+// which pays the full truth+dependence discovery. The ratio is the
+// cold-start win a snapshotted `currents server -load` gets over building
+// from raw claims (the acceptance bar is ≥5x at 500 sources; measured ~10x).
+
+func BenchmarkSnapshotLoad(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(fmt.Sprintf("sources=%d", sz.sources), func(b *testing.B) {
+			b.ReportAllocs()
+			if testing.Short() && !sz.short {
+				b.Skip("large scale skipped in short mode")
+			}
+			d := benchSnapshotWorld(b, sz.sources, sz.objects)
+			s, err := sourcecurrents.NewSession(d, sourcecurrents.DefaultSessionConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := s.WriteSnapshot(&buf); err != nil {
+				b.Fatal(err)
+			}
+			raw := buf.Bytes()
+			b.SetBytes(int64(len(raw)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sourcecurrents.LoadSession(bytes.NewReader(raw), sourcecurrents.DefaultSessionConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSnapshotWrite(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(fmt.Sprintf("sources=%d", sz.sources), func(b *testing.B) {
+			b.ReportAllocs()
+			if testing.Short() && !sz.short {
+				b.Skip("large scale skipped in short mode")
+			}
+			d := benchSnapshotWorld(b, sz.sources, sz.objects)
+			s, err := sourcecurrents.NewSession(d, sourcecurrents.DefaultSessionConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if err := s.WriteSnapshot(&buf); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -18,9 +18,17 @@
 //	currents serve  [-parallelism N] [-query "e,a;e,a"] [-repeat N] file.csv
 //	    long-lived serving session: one truth+dependence precompute, then
 //	    unlimited queries (stdin REPL, or -query for one-shot/batch mode)
+//	currents snapshot -o out.snap [-parallelism N] file.csv
+//	    precompute a session and write the binary snapshot the server
+//	    cold-starts from
+//	currents server -addr :8080 -load DIR [-parallelism N]
+//	    HTTP/JSON query service over a directory of datasets
+//	    (*.snap snapshots, *.csv claims); graceful shutdown on SIGINT
+//	currents loadgen -addr URL -dataset NAME -query "e,a" [-concurrency N] [-duration 5s]
+//	    hammer a running server, report throughput + latency percentiles
 //
-// Every subcommand also accepts -cpuprofile FILE and -memprofile FILE to
-// write pprof evidence for performance work.
+// Every analysis subcommand also accepts -cpuprofile FILE and -memprofile
+// FILE to write pprof evidence for performance work.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"sourcecurrents"
 	"sourcecurrents/internal/eval"
 	"sourcecurrents/internal/profiling"
+	"sourcecurrents/internal/server"
 )
 
 func main() {
@@ -56,6 +65,12 @@ func main() {
 		err = runRecommend(args)
 	case "serve":
 		err = runServe(args)
+	case "snapshot":
+		err = runSnapshot(args)
+	case "server":
+		err = runServer(args)
+	case "loadgen":
+		err = runLoadgen(args)
 	default:
 		usage()
 	}
@@ -66,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: currents <detect|truth|temporal|dissim|recommend|serve> [flags] file.csv")
+	fmt.Fprintln(os.Stderr, "usage: currents <detect|truth|temporal|dissim|recommend|serve|snapshot|server|loadgen> [flags]")
 	os.Exit(2)
 }
 
@@ -292,6 +307,16 @@ func printAnswers(res *sourcecurrents.QueryResult) error {
 	return t.Render(os.Stdout)
 }
 
+// toRefs converts parsed query objects to the request core's transport
+// form.
+func toRefs(objs []sourcecurrents.ObjectID) []server.ObjectRef {
+	refs := make([]server.ObjectRef, len(objs))
+	for i, o := range objs {
+		refs[i] = server.ObjectRef{Entity: o.Entity, Attribute: o.Attribute}
+	}
+	return refs
+}
+
 // runServe builds a serving session (one precompute) and then answers
 // queries against it: either the -query list (repeated -repeat times for
 // throughput runs), or an interactive stdin loop with the commands
@@ -302,6 +327,9 @@ func printAnswers(res *sourcecurrents.QueryResult) error {
 //	accuracy              discovered per-source accuracies
 //	quit
 //
+// Every command dispatches through the same request-handling core as the
+// HTTP server (internal/server.Exec*), so the two serving paths cannot
+// drift; the REPL differs only in rendering tables instead of JSON.
 // Timings go to stderr so stdout stays deterministic and diffable.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
@@ -341,9 +369,10 @@ func runServe(args []string) error {
 			return err
 		}
 		qstart := time.Now()
+		req := server.AnswerRequest{Query: toRefs(q)}
 		var res *sourcecurrents.QueryResult
 		for i := 0; i < *repeat; i++ {
-			if res, err = s.AnswerObjects(q); err != nil {
+			if res, err = server.ExecAnswer(s, req); err != nil {
 				return err
 			}
 		}
@@ -374,7 +403,7 @@ func runServe(args []string) error {
 				fmt.Fprintln(os.Stderr, "serve:", err)
 				continue
 			}
-			res, err := s.AnswerObjects(q)
+			res, err := server.ExecAnswer(s, server.AnswerRequest{Query: toRefs(q)})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "serve:", err)
 				continue
@@ -383,7 +412,7 @@ func runServe(args []string) error {
 				return err
 			}
 		case "fuse":
-			res, err := s.Fuse()
+			res, err := server.ExecFuse(s)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "serve:", err)
 				continue
@@ -404,7 +433,7 @@ func runServe(args []string) error {
 					continue
 				}
 			}
-			top, err := s.RecommendSources(sourcecurrents.DefaultTrustWeights(), k)
+			top, err := server.ExecRecommend(s, server.RecommendRequest{K: &k})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "serve:", err)
 				continue
@@ -418,8 +447,8 @@ func runServe(args []string) error {
 			}
 		case "accuracy":
 			t := eval.NewTable("Discovered accuracies", "source", "accuracy")
-			for _, src := range d.Sources() {
-				t.AddRowf(string(src), s.Accuracy()[src])
+			for _, e := range server.ExecAccuracy(s) {
+				t.AddRowf(string(e.Source), e.Accuracy)
 			}
 			if err := t.Render(os.Stdout); err != nil {
 				return err

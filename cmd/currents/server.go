@@ -1,0 +1,258 @@
+// HTTP serving subcommands: server (host a registry of datasets over
+// HTTP), snapshot (precompute a dataset into a binary session snapshot for
+// fast server cold-start), and loadgen (hammer a running server and report
+// throughput and latency percentiles).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"sourcecurrents"
+	"sourcecurrents/internal/profiling"
+	"sourcecurrents/internal/server"
+)
+
+// runSnapshot precomputes a serving session from a claims CSV and writes
+// the binary session snapshot: the artifact `currents server -load`
+// cold-starts from without re-running truth discovery and dependence
+// detection.
+func runSnapshot(args []string) error {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	out := fs.String("o", "", "output snapshot path (required)")
+	parallelism := fs.Int("parallelism", 0, "worker count for the precompute (0 = all cores)")
+	prof := profiling.Register(fs)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 || *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: currents snapshot -o out.snap [-parallelism N] file.csv")
+		os.Exit(2)
+	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Finish()
+	d, err := loadDataset(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg := sourcecurrents.DefaultSessionConfig()
+	cfg.Parallelism = *parallelism
+	start := time.Now()
+	s, err := sourcecurrents.NewSession(d, cfg)
+	if err != nil {
+		return err
+	}
+	precompute := time.Since(start)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "snapshot %s: %d claims, %d sources, %d objects, %d bytes (precompute %v)\n",
+		*out, d.Len(), len(d.Sources()), len(d.Objects()), info.Size(),
+		precompute.Round(time.Millisecond))
+	return nil
+}
+
+// runServer boots the HTTP query service over a directory of datasets
+// (*.snap session snapshots load instantly; *.csv claims pay the full
+// precompute) and serves until SIGINT/SIGTERM, then drains gracefully.
+func runServer(args []string) error {
+	fs := flag.NewFlagSet("server", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	load := fs.String("load", "", "directory of datasets to serve (*.snap, *.csv; required)")
+	parallelism := fs.Int("parallelism", 0, "worker count per request (0 = all cores)")
+	maxBytes := fs.Int64("max-request-bytes", server.DefaultMaxRequestBytes, "request body cap")
+	prof := profiling.Register(fs)
+	_ = fs.Parse(args)
+	if *load == "" || fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: currents server -addr :8080 -load DIR [-parallelism N]")
+		os.Exit(2)
+	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Finish()
+
+	cfg := sourcecurrents.DefaultSessionConfig()
+	cfg.Parallelism = *parallelism
+	start := time.Now()
+	reg, err := server.LoadDir(*load, cfg, func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "server: "+format+"\n", a...)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "server: %d dataset(s) ready in %v, listening on %s\n",
+		reg.Len(), time.Since(start).Round(time.Millisecond), *addr)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(reg, server.Options{MaxRequestBytes: *maxBytes}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, finish in-flight requests, bounded.
+	fmt.Fprintln(os.Stderr, "server: shutting down (draining in-flight requests)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "server: stopped")
+	return nil
+}
+
+// runLoadgen hammers a running server with identical-shaped requests from
+// -concurrency workers for -duration and reports throughput plus latency
+// percentiles — the measurement half of the serving story.
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+	dsName := fs.String("dataset", "", "dataset name (required)")
+	op := fs.String("op", "answer", "operation: answer|fuse|recommend|accuracy")
+	query := fs.String("query", "", "query list entity,attribute;... (required for -op answer)")
+	concurrency := fs.Int("concurrency", 8, "concurrent clients")
+	duration := fs.Duration("duration", 5*time.Second, "run length")
+	_ = fs.Parse(args)
+	if *dsName == "" || fs.NArg() != 0 || *concurrency < 1 {
+		fmt.Fprintln(os.Stderr, "usage: currents loadgen -addr URL -dataset NAME [-op answer] -query \"e,a;...\" [-concurrency N] [-duration 5s]")
+		os.Exit(2)
+	}
+
+	var method, path, body string
+	base := strings.TrimRight(*addr, "/")
+	switch *op {
+	case "answer":
+		if *query == "" {
+			return fmt.Errorf("loadgen: -op answer requires -query")
+		}
+		objs, err := parseQueryList(*query)
+		if err != nil {
+			return err
+		}
+		var sb strings.Builder
+		sb.WriteString(`{"query":[`)
+		for i, o := range objs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, `{"entity":%q,"attribute":%q}`, o.Entity, o.Attribute)
+		}
+		sb.WriteString(`]}`)
+		method, path, body = http.MethodPost, "/v1/"+*dsName+"/answer", sb.String()
+	case "fuse":
+		method, path = http.MethodPost, "/v1/"+*dsName+"/fuse"
+	case "recommend":
+		method, path, body = http.MethodPost, "/v1/"+*dsName+"/recommend", `{"k":5}`
+	case "accuracy":
+		method, path = http.MethodGet, "/v1/"+*dsName+"/accuracy"
+	default:
+		return fmt.Errorf("loadgen: unknown op %q", *op)
+	}
+	url := base + path
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *concurrency * 2,
+		MaxIdleConnsPerHost: *concurrency * 2,
+	}}
+
+	type workerStats struct {
+		lat    []time.Duration
+		errors int
+	}
+	stats := make([]workerStats, *concurrency)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				req, err := http.NewRequest(method, url, strings.NewReader(body))
+				if err != nil {
+					st.errors++
+					continue
+				}
+				if method == http.MethodPost {
+					req.Header.Set("Content-Type", "application/json")
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					st.errors++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					st.errors++
+					continue
+				}
+				st.lat = append(st.lat, time.Since(t0))
+			}
+		}(w)
+	}
+	started := time.Now()
+	wg.Wait()
+	elapsed := time.Since(started)
+	if elapsed > *duration {
+		elapsed = *duration
+	}
+
+	var all []time.Duration
+	var nErr int
+	for i := range stats {
+		all = append(all, stats[i].lat...)
+		nErr += stats[i].errors
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("loadgen: no successful requests (%d errors) against %s", nErr, url)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(all)-1))
+		return all[idx]
+	}
+	fmt.Printf("loadgen %s %s: %d requests in %v (%.0f req/s), %d errors, %d clients\n",
+		*op, url, len(all), elapsed.Round(time.Millisecond),
+		float64(len(all))/elapsed.Seconds(), nErr, *concurrency)
+	fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+	return nil
+}

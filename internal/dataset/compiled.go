@@ -137,22 +137,41 @@ func (c *Compiled) buildGroups(d *Dataset) {
 }
 
 // buildSourceClaims lays out each source's snapshot claims with the global
-// group index of each asserted value.
+// group index of each asserted value. One sweep over the objects in index
+// order fills every source's exactly-sized region in ascending-object
+// order — the same layout as iterating each source's sorted object list,
+// without re-sorting per source.
 func (c *Compiled) buildSourceClaims(d *Dataset) {
-	c.SrcStart = make([]int32, len(c.Sources)+1)
+	nS := len(c.Sources)
+	c.SrcStart = make([]int32, nS+1)
 	for si, s := range c.Sources {
-		for _, o := range d.ObjectsOf(s) {
-			v, ok := d.Value(s, o)
-			if !ok {
+		c.SrcStart[si+1] = c.SrcStart[si] + int32(len(d.valueOf[s]))
+	}
+	total := int(c.SrcStart[nS])
+	c.SrcObj = make([]int32, total)
+	c.SrcVal = make([]int32, total)
+	c.SrcGroup = make([]int32, total)
+	cursor := make([]int32, nS)
+	copy(cursor, c.SrcStart[:nS])
+	for oi, o := range c.Objects {
+		// byObject is source-sorted after Freeze; a source re-asserting o
+		// appears in adjacent entries and contributes one snapshot claim.
+		var last model.SourceID
+		haveLast := false
+		for _, idx := range d.byObject[o] {
+			s := d.claims[idx].Source
+			if haveLast && s == last {
 				continue
 			}
-			oi := c.objIdx[o]
-			vi := c.valIdx[v]
-			c.SrcObj = append(c.SrcObj, oi)
-			c.SrcVal = append(c.SrcVal, vi)
-			c.SrcGroup = append(c.SrcGroup, c.findGroup(oi, vi))
+			last, haveLast = s, true
+			si := c.srcIdx[s]
+			vi := c.valIdx[d.valueOf[s][o]]
+			k := cursor[si]
+			cursor[si]++
+			c.SrcObj[k] = int32(oi)
+			c.SrcVal[k] = vi
+			c.SrcGroup[k] = c.findGroup(int32(oi), vi)
 		}
-		c.SrcStart[si+1] = int32(len(c.SrcObj))
 	}
 }
 

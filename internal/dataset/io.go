@@ -88,6 +88,7 @@ func WriteCSV(w io.Writer, claims []model.Claim) error {
 // FromClaims builds and freezes a dataset from a claim slice.
 func FromClaims(claims []model.Claim) (*Dataset, error) {
 	d := New()
+	d.claims = make([]model.Claim, 0, len(claims))
 	if err := d.AddAll(claims); err != nil {
 		return nil, err
 	}

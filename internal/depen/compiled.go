@@ -279,10 +279,9 @@ func detectCompiled(c *dataset.Compiled, cfg Config) *Result {
 		Converged: res.Converged,
 	}
 	res.Truth.PickChosen()
-	res.dirProb = map[model.SourceID]map[model.SourceID]float64{}
-	for _, dep := range deps {
-		setDir(res.dirProb, dep.Pair.A, dep.Pair.B, dep.ProbAB)
-		setDir(res.dirProb, dep.Pair.B, dep.Pair.A, dep.ProbBA)
+	res.dir = newDirTableFor(c.Sources)
+	for pi := range deps {
+		res.dir.set(cands[pi].a, cands[pi].b, deps[pi].ProbAB, deps[pi].ProbBA)
 	}
 	finishPairs(res, deps, cfg.DepThreshold)
 	return res

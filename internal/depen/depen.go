@@ -166,7 +166,79 @@ type Result struct {
 	Rounds    int
 	Converged bool
 
-	dirProb map[model.SourceID]map[model.SourceID]float64
+	dir *dirTable
+}
+
+// dirTable is the dense directional-posterior lookup backing CopyProb and
+// DependenceProb: every dataset source in sorted order, with P(i copies j)
+// in a flat row-major table. Every construction path builds it over the
+// same sorted source list, so results are structurally identical whichever
+// path produced them. The nested-map form it replaces cost more to
+// populate than the entire rest of a snapshot load.
+type dirTable struct {
+	idx  map[model.SourceID]int32
+	n    int
+	prob []float64
+}
+
+// newDirTableFor returns an empty table over the (sorted) source list.
+func newDirTableFor(sources []model.SourceID) *dirTable {
+	idx := make(map[model.SourceID]int32, len(sources))
+	for i, s := range sources {
+		idx[s] = int32(i)
+	}
+	n := len(sources)
+	return &dirTable{idx: idx, n: n, prob: make([]float64, n*n)}
+}
+
+// set records a pair verdict by dense source index.
+func (t *dirTable) set(ai, bi int32, probAB, probBA float64) {
+	t.prob[int(ai)*t.n+int(bi)] = probAB
+	t.prob[int(bi)*t.n+int(ai)] = probBA
+}
+
+// setByID records a pair verdict by source id (the map-path form).
+func (t *dirTable) setByID(a, b model.SourceID, probAB, probBA float64) {
+	t.set(t.idx[a], t.idx[b], probAB, probBA)
+}
+
+// of returns P(from copies to); 0 for sources outside the table.
+func (t *dirTable) of(from, to model.SourceID) float64 {
+	if t == nil {
+		return 0
+	}
+	fi, ok := t.idx[from]
+	if !ok {
+		return 0
+	}
+	ti, ok := t.idx[to]
+	if !ok {
+		return 0
+	}
+	return t.prob[int(fi)*t.n+int(ti)]
+}
+
+// FillTotals writes the total (both-direction) dependence posterior of
+// every source pair into out[i*n+j], where i, j index the given sorted
+// source list — the dense serving table. It reports false when the result's
+// lookup table was not built over exactly this source list (the caller then
+// falls back to iterating AllPairs).
+func (r *Result) FillTotals(sources []model.SourceID, out []float64) bool {
+	t := r.dir
+	if t == nil || t.n != len(sources) || len(out) != t.n*t.n {
+		return false
+	}
+	for i, s := range sources {
+		if got, ok := t.idx[s]; !ok || got != int32(i) {
+			return false
+		}
+	}
+	for i := 0; i < t.n; i++ {
+		for j := 0; j < t.n; j++ {
+			out[i*t.n+j] = t.prob[i*t.n+j] + t.prob[j*t.n+i]
+		}
+	}
+	return true
 }
 
 // DependenceProb returns the posterior that a and b are dependent (either
@@ -182,10 +254,44 @@ func (r *Result) CopyProb(copier, master model.SourceID) float64 {
 }
 
 func (r *Result) directional(from, to model.SourceID) float64 {
-	if m, ok := r.dirProb[from]; ok {
-		return m[to]
+	return r.dir.of(from, to)
+}
+
+// ResultFromParts reassembles a Result from its serializable parts — the
+// truth result, the dataset's sorted source list, every analyzed pair's
+// final-round verdict, and the threshold/round bookkeeping. The session
+// snapshot loader uses it to rebuild the cached precompute without
+// re-running Detect; given the parts of a prior Detect run it reproduces
+// that run's Result exactly (the directional lookup table and the
+// thresholded Dependences slice are derived from allPairs the same way
+// Detect derives them). It takes ownership of allPairs, which may be
+// re-sorted in place.
+//
+// pairA and pairB, when non-nil, give each pair's dense indices into
+// sources (pairA[i] indexes allPairs[i].Pair.A), letting a decoder that
+// already holds indices skip ~2·|pairs| string-map lookups; pass nil to
+// derive them by lookup.
+func ResultFromParts(tr *truth.Result, sources []model.SourceID,
+	allPairs []Dependence, pairA, pairB []int32,
+	depThreshold float64, rounds int, converged bool) *Result {
+	t := newDirTableFor(sources)
+	if len(pairA) == len(allPairs) && len(pairB) == len(allPairs) {
+		for i := range allPairs {
+			t.set(pairA[i], pairB[i], allPairs[i].ProbAB, allPairs[i].ProbBA)
+		}
+	} else {
+		for i := range allPairs {
+			t.setByID(allPairs[i].Pair.A, allPairs[i].Pair.B, allPairs[i].ProbAB, allPairs[i].ProbBA)
+		}
 	}
-	return 0
+	res := &Result{
+		Truth:     tr,
+		Rounds:    rounds,
+		Converged: converged,
+		dir:       t,
+	}
+	finishPairs(res, allPairs, depThreshold)
+	return res
 }
 
 // pairHypotheses returns log-likelihoods of the evidence under the three
@@ -287,9 +393,13 @@ func detectMaps(d *dataset.Dataset, cfg Config) (*Result, error) {
 		acc[s] = cfg.Truth.InitialAccuracy
 	}
 
-	res := &Result{dirProb: map[model.SourceID]map[model.SourceID]float64{}}
+	res := &Result{}
 	var probs map[model.ObjectID]map[string]float64
 	var pairs []Dependence
+	// dirState holds the previous round's directional posteriors for the
+	// vote discounts; the final round's verdicts become the result's dense
+	// lookup table below.
+	dirState := map[model.SourceID]map[model.SourceID]float64{}
 	objects := d.Objects()
 	eng := cfg.Engine()
 
@@ -298,7 +408,7 @@ func detectMaps(d *dataset.Dataset, cfg Config) (*Result, error) {
 		// Each object gets its own discount closure (discountFor keeps
 		// per-object state only), so workers share nothing but read-only
 		// maps; the merge below iterates in canonical object order.
-		discount := makeDiscount(d, acc, res.dirProb, cfg.CopyRate)
+		discount := makeDiscount(d, acc, dirState, cfg.CopyRate)
 		scored := engine.MapObjects(eng, objects, func(o model.ObjectID) map[string]float64 {
 			scores := truth.ScoreValues(d.ValuesFor(o), acc, cfg.Truth.N, discountFor(discount, o))
 			scores = truth.ApplySimilarity(scores, cfg.Truth.ValueSim, cfg.Truth.ValueSimWeight)
@@ -323,7 +433,7 @@ func detectMaps(d *dataset.Dataset, cfg Config) (*Result, error) {
 			setDir(dir, dep.Pair.A, dep.Pair.B, dep.ProbAB)
 			setDir(dir, dep.Pair.B, dep.Pair.A, dep.ProbBA)
 		}
-		res.dirProb = dir
+		dirState = dir
 		res.Rounds = round
 
 		if truth.MaxAccuracyDelta(acc, next) < cfg.Tol {
@@ -341,16 +451,22 @@ func detectMaps(d *dataset.Dataset, cfg Config) (*Result, error) {
 		Converged: res.Converged,
 	}
 	res.Truth.PickChosen()
+	res.dir = newDirTableFor(d.Sources())
+	for _, dep := range pairs {
+		res.dir.setByID(dep.Pair.A, dep.Pair.B, dep.ProbAB, dep.ProbBA)
+	}
 	finishPairs(res, pairs, cfg.DepThreshold)
 	return res, nil
 }
 
 // finishPairs fills AllPairs (sorted) and Dependences (thresholded,
-// preallocated after a counting pass) from the final round's verdicts.
+// preallocated after a counting pass) from the final round's verdicts. It
+// takes ownership of pairs and sorts it in place — no caller reads the
+// final-round slice afterwards, and the copy it replaces was a measurable
+// share of a snapshot load.
 func finishPairs(res *Result, pairs []Dependence, threshold float64) {
-	res.AllPairs = make([]Dependence, len(pairs))
-	copy(res.AllPairs, pairs)
-	sortDeps(res.AllPairs)
+	sortDeps(pairs)
+	res.AllPairs = pairs
 	var n int
 	for _, p := range res.AllPairs {
 		if p.Prob >= threshold {

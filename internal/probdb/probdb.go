@@ -20,6 +20,19 @@ import (
 	"sourcecurrents/internal/model"
 )
 
+// Named input errors. The HTTP serving layer maps these to 400 Bad Request
+// (client mistake) rather than 500 (server fault); wrap-with-%w so
+// errors.Is keeps matching through added context.
+var (
+	// ErrProbOutOfRange reports an input probability outside [0, 1].
+	ErrProbOutOfRange = errors.New("probdb: probability out of range [0,1]")
+	// ErrDepenMismatch reports a dependence matrix whose dimensions do not
+	// match the probability inputs (or is not square).
+	ErrDepenMismatch = errors.New("probdb: dependence matrix dimensions do not match inputs")
+	// ErrDepenOutOfRange reports a dependence entry outside [0, 1].
+	ErrDepenOutOfRange = errors.New("probdb: dependence probability out of range [0,1]")
+)
+
 // Alternative is one possible value of an x-tuple with its probability.
 type Alternative struct {
 	Value string
@@ -137,12 +150,14 @@ func (r *Relation) SelectValue(value string, minProb float64) []SelectResult {
 
 // CombineIndependent merges per-source probabilities for the same value
 // assuming source independence: p = 1 - Π(1 - p_i). This is the
-// computation the paper says current integration systems use.
+// computation the paper says current integration systems use. Empty input
+// combines to 0 (no evidence). Invalid inputs return an error wrapping
+// ErrProbOutOfRange.
 func CombineIndependent(probs []float64) (float64, error) {
 	acc := 1.0
-	for _, p := range probs {
+	for i, p := range probs {
 		if p < 0 || p > 1 {
-			return 0, errors.New("probdb: probability out of range")
+			return 0, fmt.Errorf("%w: probs[%d] = %v", ErrProbOutOfRange, i, p)
 		}
 		acc *= 1 - p
 	}
@@ -155,25 +170,28 @@ func CombineIndependent(probs []float64) (float64, error) {
 // the vote-discount of the copy-aware solver. dep[i][j] is the dependence
 // probability between sources i and j (symmetric, zero diagonal).
 // Sources are processed in the given order; the first contributes fully.
+// Empty input combines to 0 (no evidence, with a 0×0 matrix). Invalid
+// inputs return errors wrapping ErrDepenMismatch, ErrDepenOutOfRange or
+// ErrProbOutOfRange.
 func CombineDependent(probs []float64, dep [][]float64) (float64, error) {
 	n := len(probs)
 	if len(dep) != n {
-		return 0, errors.New("probdb: dependence matrix size mismatch")
+		return 0, fmt.Errorf("%w: %d probs, %d dependence rows", ErrDepenMismatch, n, len(dep))
 	}
 	for i := range dep {
 		if len(dep[i]) != n {
-			return 0, errors.New("probdb: dependence matrix not square")
+			return 0, fmt.Errorf("%w: row %d has %d entries, want %d", ErrDepenMismatch, i, len(dep[i]), n)
 		}
-		for _, dv := range dep[i] {
+		for j, dv := range dep[i] {
 			if dv < 0 || dv > 1 {
-				return 0, errors.New("probdb: dependence out of range")
+				return 0, fmt.Errorf("%w: dep[%d][%d] = %v", ErrDepenOutOfRange, i, j, dv)
 			}
 		}
 	}
 	acc := 1.0
 	for i, p := range probs {
 		if p < 0 || p > 1 {
-			return 0, errors.New("probdb: probability out of range")
+			return 0, fmt.Errorf("%w: probs[%d] = %v", ErrProbOutOfRange, i, p)
 		}
 		indep := 1.0
 		for j := 0; j < i; j++ {

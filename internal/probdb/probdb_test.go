@@ -1,7 +1,9 @@
 package probdb
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -121,14 +123,53 @@ func TestCombineDependentCollapsesClique(t *testing.T) {
 }
 
 func TestCombineDependentErrors(t *testing.T) {
-	if _, err := CombineDependent([]float64{0.5}, nil); err == nil {
-		t.Fatal("size mismatch accepted")
+	if _, err := CombineDependent([]float64{0.5}, nil); !errors.Is(err, ErrDepenMismatch) {
+		t.Fatalf("size mismatch: err = %v, want ErrDepenMismatch", err)
 	}
-	if _, err := CombineDependent([]float64{0.5}, [][]float64{{2}}); err == nil {
-		t.Fatal("invalid dependence accepted")
+	if _, err := CombineDependent([]float64{0.5}, [][]float64{{2}}); !errors.Is(err, ErrDepenOutOfRange) {
+		t.Fatalf("invalid dependence: err = %v, want ErrDepenOutOfRange", err)
 	}
-	if _, err := CombineDependent([]float64{1.5}, [][]float64{{0}}); err == nil {
-		t.Fatal("invalid prob accepted")
+	if _, err := CombineDependent([]float64{1.5}, [][]float64{{0}}); !errors.Is(err, ErrProbOutOfRange) {
+		t.Fatalf("invalid prob: err = %v, want ErrProbOutOfRange", err)
+	}
+}
+
+// TestCombineNamedErrorEdgeCases covers the remaining input corners: empty
+// inputs are valid no-evidence combinations, every malformed shape maps to
+// its named sentinel (which the HTTP layer turns into 400s).
+func TestCombineNamedErrorEdgeCases(t *testing.T) {
+	// Empty inputs: no evidence, probability 0, no error.
+	if p, err := CombineIndependent([]float64{}); err != nil || p != 0 {
+		t.Fatalf("empty independent = %v, %v", p, err)
+	}
+	if p, err := CombineDependent(nil, nil); err != nil || p != 0 {
+		t.Fatalf("empty dependent = %v, %v", p, err)
+	}
+
+	if _, err := CombineIndependent([]float64{0.5, -0.1}); !errors.Is(err, ErrProbOutOfRange) {
+		t.Fatalf("negative prob: err = %v, want ErrProbOutOfRange", err)
+	}
+	if _, err := CombineIndependent([]float64{math.Inf(1)}); !errors.Is(err, ErrProbOutOfRange) {
+		t.Fatalf("inf prob: err = %v, want ErrProbOutOfRange", err)
+	}
+
+	// Non-square matrix: right row count, wrong row length.
+	bad := [][]float64{{0, 0}, {0}}
+	if _, err := CombineDependent([]float64{0.5, 0.5}, bad); !errors.Is(err, ErrDepenMismatch) {
+		t.Fatalf("ragged matrix: err = %v, want ErrDepenMismatch", err)
+	}
+	// Too many rows.
+	if _, err := CombineDependent([]float64{0.5}, [][]float64{{0}, {0}}); !errors.Is(err, ErrDepenMismatch) {
+		t.Fatalf("extra rows: err = %v, want ErrDepenMismatch", err)
+	}
+	if _, err := CombineDependent([]float64{0.5}, [][]float64{{-0.5}}); !errors.Is(err, ErrDepenOutOfRange) {
+		t.Fatalf("negative dependence: err = %v, want ErrDepenOutOfRange", err)
+	}
+
+	// The message carries the offending index and value.
+	_, err := CombineDependent([]float64{0, 0.5, 2.5}, [][]float64{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}})
+	if err == nil || !strings.Contains(err.Error(), "probs[2]") {
+		t.Fatalf("err = %v, want index context", err)
 	}
 }
 

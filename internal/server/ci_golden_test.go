@@ -1,0 +1,69 @@
+package server
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/session"
+)
+
+// TestCIGoldenInSync guards the checked-in CI e2e fixtures: the golden
+// response in testdata/ci_answer_golden.json must equal what the server
+// produces for testdata/ci_answer_request.json over testdata/ci_claims.csv.
+// The CI workflow boots a real `currents server` from a snapshot of the
+// same CSV, curls the same request, and diffs against the same golden — so
+// this test failing means the golden needs regenerating:
+//
+//	REGEN_CI_GOLDEN=1 go test -run TestCIGoldenInSync ./internal/server/
+func TestCIGoldenInSync(t *testing.T) {
+	csvFile, err := os.Open(filepath.Join("testdata", "ci_claims.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	claims, err := dataset.ReadCSV(csvFile)
+	csvFile.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.FromClaims(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := session.New(d, session.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reqBody, err := os.ReadFile(filepath.Join("testdata", "ci_answer_request.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req AnswerRequest
+	if err := decodeBody(reqBody, &req); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExecAnswer(sess, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expectJSON(t, BuildAnswerResponse(res, req.IncludeSteps))
+
+	goldenPath := filepath.Join("testdata", "ci_answer_golden.json")
+	if os.Getenv("REGEN_CI_GOLDEN") == "1" {
+		if err := os.WriteFile(goldenPath, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", goldenPath, len(want))
+		return
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v — regenerate with REGEN_CI_GOLDEN=1", err)
+	}
+	if !bytes.Equal(golden, want) {
+		t.Fatalf("ci_answer_golden.json out of sync with the serving path — regenerate with REGEN_CI_GOLDEN=1\ngolden: %s\nwant:   %s", golden, want)
+	}
+}

@@ -1,0 +1,109 @@
+// Request metrics: counters, latency histograms and an in-flight gauge,
+// exposed in Prometheus text format on /metrics. Hand-rolled on
+// sync/atomic — no client library dependency — with a fixed operation set
+// and fixed buckets so the hot path is a few atomic adds.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// ops is the fixed label set; one opMetrics per entry. "other" counts
+// requests that matched no dataset/operation (404 traffic must still be
+// visible to an operator watching /metrics).
+var ops = []string{"accuracy", "answer", "fuse", "healthz", "link", "metrics", "other", "recommend"}
+
+// latencyBuckets are the histogram upper bounds in seconds.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
+
+// opMetrics is one operation's counters.
+type opMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	// buckets[i] counts observations <= latencyBuckets[i]; an implicit +Inf
+	// bucket equals requests.
+	buckets  [8]atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// metrics is the server-wide instrument set.
+type metrics struct {
+	inFlight  atomic.Int64
+	coalesced atomic.Int64
+	perOp     map[string]*opMetrics
+}
+
+func newMetrics() *metrics {
+	m := &metrics{perOp: make(map[string]*opMetrics, len(ops))}
+	for _, op := range ops {
+		m.perOp[op] = &opMetrics{}
+	}
+	return m
+}
+
+// observe records one finished request.
+func (m *metrics) observe(op string, d time.Duration, status int) {
+	om, ok := m.perOp[op]
+	if !ok {
+		return
+	}
+	om.requests.Add(1)
+	if status >= 400 {
+		om.errors.Add(1)
+	}
+	om.sumNanos.Add(int64(d))
+	secs := d.Seconds()
+	for i, le := range latencyBuckets {
+		if secs <= le {
+			om.buckets[i].Add(1)
+		}
+	}
+}
+
+// write renders the Prometheus text exposition.
+func (m *metrics) write(w io.Writer) {
+	names := make([]string, 0, len(m.perOp))
+	for op := range m.perOp {
+		names = append(names, op)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP currents_in_flight Requests currently being served.\n")
+	fmt.Fprintf(w, "# TYPE currents_in_flight gauge\n")
+	fmt.Fprintf(w, "currents_in_flight %d\n", m.inFlight.Load())
+
+	fmt.Fprintf(w, "# HELP currents_answer_coalesced_total Answer requests served by joining an identical in-flight request.\n")
+	fmt.Fprintf(w, "# TYPE currents_answer_coalesced_total counter\n")
+	fmt.Fprintf(w, "currents_answer_coalesced_total %d\n", m.coalesced.Load())
+
+	fmt.Fprintf(w, "# HELP currents_requests_total Requests served, by operation.\n")
+	fmt.Fprintf(w, "# TYPE currents_requests_total counter\n")
+	for _, op := range names {
+		fmt.Fprintf(w, "currents_requests_total{op=%q} %d\n", op, m.perOp[op].requests.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP currents_request_errors_total Requests answered with status >= 400, by operation.\n")
+	fmt.Fprintf(w, "# TYPE currents_request_errors_total counter\n")
+	for _, op := range names {
+		fmt.Fprintf(w, "currents_request_errors_total{op=%q} %d\n", op, m.perOp[op].errors.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP currents_request_duration_seconds Request latency, by operation.\n")
+	fmt.Fprintf(w, "# TYPE currents_request_duration_seconds histogram\n")
+	for _, op := range names {
+		om := m.perOp[op]
+		for i, le := range latencyBuckets {
+			fmt.Fprintf(w, "currents_request_duration_seconds_bucket{op=%q,le=\"%g\"} %d\n",
+				op, le, om.buckets[i].Load())
+		}
+		n := om.requests.Load()
+		fmt.Fprintf(w, "currents_request_duration_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", op, n)
+		fmt.Fprintf(w, "currents_request_duration_seconds_sum{op=%q} %g\n",
+			op, float64(om.sumNanos.Load())/1e9)
+		fmt.Fprintf(w, "currents_request_duration_seconds_count{op=%q} %d\n", op, n)
+	}
+}

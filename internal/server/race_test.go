@@ -1,0 +1,163 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestServerRace16Clients drives one server instance with 16 concurrent
+// clients mixing answer, fuse, recommend and accuracy requests across two
+// registered datasets, each client asserting byte-identity against
+// golden bodies computed from direct Session calls. Run under -race this
+// exercises every shared structure on the serving path: the registry's
+// read path, the sessions' cached state, the singleflight group (half the
+// clients issue the same hot answer request concurrently) and the metrics
+// counters.
+func TestServerRace16Clients(t *testing.T) {
+	ts, sessions := testServer(t)
+
+	type nameAndSession struct {
+		name string
+		base string
+	}
+	datasets := []nameAndSession{
+		{"alpha", ts.URL + "/v1/alpha"},
+		{"beta", ts.URL + "/v1/beta"},
+	}
+
+	// Golden bodies, one set per dataset, precomputed from direct Session
+	// calls before the goroutines launch (the clients only compare bytes).
+	const coldVariants = 8
+	type golden struct {
+		hotReq    string
+		hotWant   []byte
+		coldReqs  [coldVariants]string
+		coldWants [coldVariants][]byte
+		fuseWant  []byte
+		recReq    string
+		recWant   []byte
+		accWant   []byte
+	}
+	goldens := map[string]*golden{}
+	for _, ds := range datasets {
+		sess := sessions[ds.name]
+		objs := sess.Dataset().Objects()
+		hot := AnswerRequest{Query: refsFor(objs[:5])}
+		recommendReq := RecommendRequest{K: intp(4)}
+		top, err := ExecRecommend(sess, recommendReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuseRes, err := ExecFuse(sess)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := &golden{
+			hotReq:   marshalReq(t, hot),
+			hotWant:  expectedAnswer(t, sess, hot),
+			fuseWant: expectJSON(t, BuildFuseResponse(objs, fuseRes)),
+			recReq:   marshalReq(t, recommendReq),
+			recWant:  expectJSON(t, BuildRecommendResponse(top)),
+			accWant:  expectJSON(t, BuildAccuracyResponse(ExecAccuracy(sess))),
+		}
+		for v := 0; v < coldVariants; v++ {
+			req := AnswerRequest{Query: refsFor(objs[v%len(objs) : v%len(objs)+2])}
+			g.coldReqs[v] = marshalReq(t, req)
+			g.coldWants[v] = expectedAnswer(t, sess, req)
+		}
+		goldens[ds.name] = g
+	}
+
+	const clients = 16
+	const reqsPerClient = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ds := datasets[c%len(datasets)]
+			g := goldens[ds.name]
+			for i := 0; i < reqsPerClient; i++ {
+				var (
+					resp *http.Response
+					body []byte
+					want []byte
+					err  error
+				)
+				switch (c + i) % 4 {
+				case 0: // hot answer — identical across half the fleet, coalesced
+					resp, body, err = doPost(ds.base+"/answer", g.hotReq)
+					want = g.hotWant
+				case 1: // cold answer — varies across clients/iterations
+					v := (c*reqsPerClient + i) % coldVariants
+					resp, body, err = doPost(ds.base+"/answer", g.coldReqs[v])
+					want = g.coldWants[v]
+				case 2:
+					resp, body, err = doPost(ds.base+"/fuse", "")
+					want = g.fuseWant
+				case 3:
+					if i%2 == 0 {
+						resp, body, err = doPost(ds.base+"/recommend", g.recReq)
+						want = g.recWant
+					} else {
+						resp, body, err = doGet(ds.base + "/accuracy")
+						want = g.accWant
+					}
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d req %d: status %d: %s", c, i, resp.StatusCode, body)
+					return
+				}
+				if !bytes.Equal(body, want) {
+					errs <- fmt.Errorf("client %d req %d: body differs from direct session call", c, i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The metrics endpoint must serve consistently after the storm.
+	resp, body := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("metrics after storm: %d", resp.StatusCode)
+	}
+}
+
+func doPost(url, body string) (*http.Response, []byte, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, nil, err
+	}
+	return resp, buf.Bytes(), nil
+}
+
+func doGet(url string) (*http.Response, []byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, nil, err
+	}
+	return resp, buf.Bytes(), nil
+}

@@ -1,0 +1,172 @@
+// Registry of named serving sessions.
+//
+// A server hosts many datasets at once — the multi-dataset registry the
+// ROADMAP's traffic goal needs. Sessions register under a URL-safe name and
+// are themselves immutable and concurrency-safe, so the registry only
+// guards its own map; lookups on the request path take a read lock.
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/session"
+)
+
+// Registry maps dataset names to serving sessions.
+type Registry struct {
+	mu       sync.RWMutex
+	sessions map[string]*session.Session
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sessions: map[string]*session.Session{}}
+}
+
+// validName reports whether a dataset name is URL-safe (letters, digits,
+// dot, underscore, dash; non-empty; no leading dot).
+func validName(name string) bool {
+	if name == "" || name[0] == '.' {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Register adds a session under name, rejecting invalid or duplicate names.
+func (r *Registry) Register(name string, s *session.Session) error {
+	if !validName(name) {
+		return fmt.Errorf("server: invalid dataset name %q", name)
+	}
+	if s == nil {
+		return fmt.Errorf("server: nil session for %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[name]; ok {
+		return fmt.Errorf("server: dataset %q already registered", name)
+	}
+	r.sessions[name] = s
+	return nil
+}
+
+// Get returns the session registered under name.
+func (r *Registry) Get(name string) (*session.Session, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.sessions[name]
+	return s, ok
+}
+
+// Names returns the registered dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.sessions))
+	for name := range r.sessions {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sessions)
+}
+
+// LoadDir populates a registry from a directory: every *.snap file loads as
+// a session snapshot (the fast cold-start path) and every *.csv file as raw
+// claims that build a fresh session (paying the full precompute). The
+// dataset name is the file name without extension. logf, when non-nil,
+// receives one line per dataset (used by the CLI to report cold-start
+// progress); pass nil to load silently.
+func LoadDir(dir string, cfg session.Config, logf func(format string, args ...any)) (*Registry, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	// A .snap is a precompute of a .csv; when both share a base name (the
+	// natural `currents snapshot -o data/x.snap data/x.csv` layout), serve
+	// the snapshot and skip the claims file instead of failing on the
+	// duplicate name.
+	hasSnap := map[string]bool{}
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".snap" {
+			hasSnap[strings.TrimSuffix(e.Name(), ".snap")] = true
+		}
+	}
+	reg := NewRegistry()
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		ext := filepath.Ext(e.Name())
+		name := strings.TrimSuffix(e.Name(), ext)
+		path := filepath.Join(dir, e.Name())
+		var s *session.Session
+		switch ext {
+		case ".snap":
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			s, err = session.LoadSnapshot(f, cfg)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("server: load %s: %w", path, err)
+			}
+			logf("loaded %q from snapshot %s", name, e.Name())
+		case ".csv":
+			if hasSnap[name] {
+				logf("skipping %s: %q is served from its snapshot", e.Name(), name)
+				continue
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			claims, err := dataset.ReadCSV(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("server: read %s: %w", path, err)
+			}
+			d, err := dataset.FromClaims(claims)
+			if err != nil {
+				return nil, fmt.Errorf("server: build %s: %w", path, err)
+			}
+			s, err = session.New(d, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("server: build %s: %w", path, err)
+			}
+			logf("built %q from claims %s (full precompute)", name, e.Name())
+		default:
+			continue
+		}
+		if err := reg.Register(name, s); err != nil {
+			return nil, err
+		}
+	}
+	if reg.Len() == 0 {
+		return nil, fmt.Errorf("server: no datasets (*.snap, *.csv) in %s", dir)
+	}
+	return reg, nil
+}

@@ -1,0 +1,308 @@
+// Package server is the HTTP/JSON serving layer over a registry of
+// sessions — the network boundary in front of the §4 applications.
+//
+// One Server hosts any number of named datasets, each a read-only
+// session.Session, and answers
+//
+//	POST /v1/{dataset}/answer     online query answering (per-request
+//	                              policy/parallelism overrides, coalesced)
+//	POST /v1/{dataset}/fuse       fused view of every object
+//	POST /v1/{dataset}/recommend  trust-ranked source recommendation
+//	POST /v1/{dataset}/link       record-linkage clusters
+//	GET  /v1/{dataset}/accuracy   discovered per-source accuracies
+//	GET  /healthz                 liveness + registered datasets
+//	GET  /metrics                 Prometheus text metrics
+//
+// Responses are rendered by the Build* helpers in core.go from exactly the
+// values a direct Session call returns, so an HTTP response is byte-for-byte
+// the JSON encoding of the in-process result — the equivalence the golden
+// tests pin. Request bodies are size-capped, identical concurrent answer
+// requests are computed once (singleflight), and every request is counted
+// in the metrics with a latency histogram and an in-flight gauge.
+//
+// The Server is an http.Handler; lifecycle (ListenAndServe, graceful
+// Shutdown) belongs to the caller.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"sourcecurrents/internal/probdb"
+	"sourcecurrents/internal/session"
+)
+
+// DefaultMaxRequestBytes caps request bodies when Options.MaxRequestBytes
+// is zero.
+const DefaultMaxRequestBytes = 1 << 20
+
+// Options tunes the server.
+type Options struct {
+	// MaxRequestBytes caps the request body size; requests beyond it are
+	// answered 413. Zero means DefaultMaxRequestBytes.
+	MaxRequestBytes int64
+}
+
+// Server serves a Registry over HTTP. Create with New; safe for concurrent
+// use.
+type Server struct {
+	reg     *Registry
+	opt     Options
+	met     *metrics
+	answers flightGroup
+}
+
+// New returns a Server over the registry.
+func New(reg *Registry, opt Options) *Server {
+	if opt.MaxRequestBytes <= 0 {
+		opt.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	return &Server{reg: reg, opt: opt, met: newMetrics()}
+}
+
+// ErrorResponse is the JSON error payload.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// response is an internal fully-rendered reply.
+type response struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// jsonResponse marshals v (with a trailing newline, matching
+// json.Encoder.Encode) into a response.
+func jsonResponse(status int, v any) response {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return response{
+			status:      http.StatusInternalServerError,
+			contentType: "application/json",
+			body:        []byte(`{"error":"encoding failure"}` + "\n"),
+		}
+	}
+	return response{status: status, contentType: "application/json", body: append(b, '\n')}
+}
+
+// errResponse maps an error to its HTTP form.
+func errResponse(err error) response {
+	return jsonResponse(statusOf(err), ErrorResponse{Error: err.Error()})
+}
+
+// statusOf maps errors to status codes: request-caused errors — the
+// ErrBadRequest wrapper and the probdb input sentinels — are 400, body-cap
+// violations 413, everything else 500.
+func statusOf(err error) int {
+	var maxErr *http.MaxBytesError
+	switch {
+	case errors.As(err, &maxErr):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrBadRequest),
+		errors.Is(err, probdb.ErrProbOutOfRange),
+		errors.Is(err, probdb.ErrDepenMismatch),
+		errors.Is(err, probdb.ErrDepenOutOfRange):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// ServeHTTP routes requests. Routing is hand-rolled (two fixed paths plus
+// /v1/{dataset}/{op}) so it works identically on every toolchain the
+// module's go directive admits.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+
+	op, resp := s.route(w, r)
+	for k, v := range map[string]string{
+		"Content-Type":           resp.contentType,
+		"X-Content-Type-Options": "nosniff",
+	} {
+		w.Header().Set(k, v)
+	}
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body)
+	s.met.observe(op, time.Since(start), resp.status)
+}
+
+// route dispatches to the operation handlers, returning the metrics
+// operation label and the rendered response.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) (string, response) {
+	path := r.URL.Path
+	switch path {
+	case "/healthz":
+		if r.Method != http.MethodGet {
+			return "healthz", methodNotAllowed(w, http.MethodGet)
+		}
+		return "healthz", jsonResponse(http.StatusOK, BuildHealthResponse(s.reg.Names()))
+	case "/metrics":
+		if r.Method != http.MethodGet {
+			return "metrics", methodNotAllowed(w, http.MethodGet)
+		}
+		var sb strings.Builder
+		s.met.write(&sb)
+		return "metrics", response{
+			status:      http.StatusOK,
+			contentType: "text/plain; version=0.0.4; charset=utf-8",
+			body:        []byte(sb.String()),
+		}
+	}
+
+	rest, ok := strings.CutPrefix(path, "/v1/")
+	if !ok {
+		return "other", jsonResponse(http.StatusNotFound,
+			ErrorResponse{Error: "not found (try /healthz, /metrics, /v1/{dataset}/{op})"})
+	}
+	name, op, ok := strings.Cut(rest, "/")
+	if !ok || name == "" || op == "" || strings.Contains(op, "/") {
+		return "other", jsonResponse(http.StatusNotFound,
+			ErrorResponse{Error: "not found: want /v1/{dataset}/{answer|fuse|recommend|link|accuracy}"})
+	}
+	sess, ok := s.reg.Get(name)
+	if !ok {
+		return "other", jsonResponse(http.StatusNotFound,
+			ErrorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
+	}
+
+	switch op {
+	case "answer":
+		if r.Method != http.MethodPost {
+			return op, methodNotAllowed(w, http.MethodPost)
+		}
+		return op, s.handleAnswer(w, r, name, sess)
+	case "fuse":
+		if r.Method != http.MethodPost {
+			return op, methodNotAllowed(w, http.MethodPost)
+		}
+		return op, s.handleFuse(sess)
+	case "recommend":
+		if r.Method != http.MethodPost {
+			return op, methodNotAllowed(w, http.MethodPost)
+		}
+		return op, s.handleRecommend(w, r, sess)
+	case "link":
+		if r.Method != http.MethodPost {
+			return op, methodNotAllowed(w, http.MethodPost)
+		}
+		return op, s.handleLink(w, r, sess)
+	case "accuracy":
+		if r.Method != http.MethodGet {
+			return op, methodNotAllowed(w, http.MethodGet)
+		}
+		return op, jsonResponse(http.StatusOK, BuildAccuracyResponse(ExecAccuracy(sess)))
+	}
+	return "other", jsonResponse(http.StatusNotFound,
+		ErrorResponse{Error: fmt.Sprintf("unknown operation %q", op)})
+}
+
+func methodNotAllowed(w http.ResponseWriter, allow string) response {
+	w.Header().Set("Allow", allow)
+	return jsonResponse(http.StatusMethodNotAllowed, ErrorResponse{Error: "method not allowed"})
+}
+
+// readBody reads the size-capped request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opt.MaxRequestBytes))
+	if err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// decodeBody strictly decodes a JSON body into v; empty bodies leave v at
+// its zero value.
+func decodeBody(body []byte, v any) error {
+	if len(body) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	// Reject trailing garbage after the JSON value.
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after JSON body", ErrBadRequest)
+	}
+	return nil
+}
+
+// handleAnswer coalesces identical concurrent requests: the singleflight
+// key is (dataset, raw body), so byte-identical requests arriving while one
+// is being computed share its response.
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request, name string, sess *session.Session) response {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		return errResponse(err)
+	}
+	res, shared := s.answers.do(name+"\x00"+string(body), func() flightResult {
+		resp := answerResponse(sess, body)
+		return flightResult{status: resp.status, body: resp.body}
+	})
+	if shared {
+		s.met.coalesced.Add(1)
+	}
+	return response{status: res.status, contentType: "application/json", body: res.body}
+}
+
+// answerResponse parses and executes one answer request.
+func answerResponse(sess *session.Session, body []byte) response {
+	var req AnswerRequest
+	if err := decodeBody(body, &req); err != nil {
+		return errResponse(err)
+	}
+	res, err := ExecAnswer(sess, req)
+	if err != nil {
+		return errResponse(err)
+	}
+	return jsonResponse(http.StatusOK, BuildAnswerResponse(res, req.IncludeSteps))
+}
+
+func (s *Server) handleFuse(sess *session.Session) response {
+	res, err := ExecFuse(sess)
+	if err != nil {
+		return errResponse(err)
+	}
+	return jsonResponse(http.StatusOK, BuildFuseResponse(sess.Dataset().Objects(), res))
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request, sess *session.Session) response {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		return errResponse(err)
+	}
+	var req RecommendRequest
+	if err := decodeBody(body, &req); err != nil {
+		return errResponse(err)
+	}
+	top, err := ExecRecommend(sess, req)
+	if err != nil {
+		return errResponse(err)
+	}
+	return jsonResponse(http.StatusOK, BuildRecommendResponse(top))
+}
+
+func (s *Server) handleLink(w http.ResponseWriter, r *http.Request, sess *session.Session) response {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		return errResponse(err)
+	}
+	var req LinkRequest
+	if err := decodeBody(body, &req); err != nil {
+		return errResponse(err)
+	}
+	res, err := ExecLink(sess, req)
+	if err != nil {
+		return errResponse(err)
+	}
+	return jsonResponse(http.StatusOK, BuildLinkResponse(res))
+}

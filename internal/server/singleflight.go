@@ -1,0 +1,56 @@
+// Minimal singleflight for response coalescing.
+//
+// Under fan-in traffic many clients ask the same question at once (a hot
+// query behind a cache miss). Computing the answer once and handing every
+// waiter the same response bytes turns an N×cost spike into 1×cost — the
+// request-level form of the amortization argument the Session makes for
+// the precompute. Hand-rolled because the module has no external
+// dependencies; the semantics match the well-known golang.org/x/sync shape
+// but return response bytes plus a shared flag.
+package server
+
+import "sync"
+
+// flightResult is the outcome every waiter of one key receives.
+type flightResult struct {
+	status int
+	body   []byte
+}
+
+// flightGroup deduplicates concurrent calls by key.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	res flightResult
+}
+
+// do runs fn once per key among concurrent callers; later callers block and
+// receive the leader's result with shared=true. The key is forgotten once
+// the leader finishes, so sequential calls re-execute.
+func (g *flightGroup) do(key string, fn func() flightResult) (res flightResult, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*flightCall{}
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.res, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.res = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	return c.res, false
+}

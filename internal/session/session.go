@@ -121,11 +121,19 @@ func New(d *dataset.Dataset, cfg Config) (*Session, error) {
 	if d.Len() == 0 {
 		return nil, errors.New("session: empty dataset")
 	}
-	c := d.Compiled()
 	dep, err := depen.Detect(d, cfg.Depen)
 	if err != nil {
 		return nil, err
 	}
+	return newFromDep(d, cfg, dep)
+}
+
+// newFromDep assembles the serving state from an existing discovery result
+// — the shared tail of New (which runs Detect) and LoadSnapshot (which
+// decodes a cached result instead). cfg must already be effective() and
+// validated, and d frozen and non-empty.
+func newFromDep(d *dataset.Dataset, cfg Config, dep *depen.Result) (*Session, error) {
+	c := d.Compiled()
 	nS := len(c.Sources)
 	s := &Session{
 		d:      d,
@@ -137,22 +145,28 @@ func New(d *dataset.Dataset, cfg Config) (*Session, error) {
 	for i, src := range c.Sources {
 		s.acc[i] = dep.Truth.Accuracy[src]
 	}
-	for _, pd := range dep.AllPairs {
-		ai, aok := c.SourceIndex(pd.Pair.A)
-		bi, bok := c.SourceIndex(pd.Pair.B)
-		if !aok || !bok {
-			continue
+	// FillTotals copies the result's dense directional table straight into
+	// the serving table; the AllPairs walk below is the fallback for results
+	// whose lookup table covers a different source list.
+	if !dep.FillTotals(c.Sources, s.depTab) {
+		for _, pd := range dep.AllPairs {
+			ai, aok := c.SourceIndex(pd.Pair.A)
+			bi, bok := c.SourceIndex(pd.Pair.B)
+			if !aok || !bok {
+				continue
+			}
+			s.depTab[int(ai)*nS+int(bi)] = pd.Prob
+			s.depTab[int(bi)*nS+int(ai)] = pd.Prob
 		}
-		s.depTab[int(ai)*nS+int(bi)] = pd.Prob
-		s.depTab[int(bi)*nS+int(ai)] = pd.Prob
 	}
 	qcfg := cfg.Query
 	qcfg.Accuracy = nil
 	qcfg.Dependence = nil
-	s.planner, err = queryans.NewPlannerDense(d, qcfg, s.acc, s.depTab)
+	planner, err := queryans.NewPlannerDense(d, qcfg, s.acc, s.depTab)
 	if err != nil {
 		return nil, err
 	}
+	s.planner = planner
 	return s, nil
 }
 
@@ -166,6 +180,10 @@ func (s *Session) Dependence() *depen.Result { return s.dep }
 // Accuracy returns the cached per-source accuracies. Callers must treat the
 // map as read-only.
 func (s *Session) Accuracy() map[model.SourceID]float64 { return s.dep.Truth.Accuracy }
+
+// QueryConfig returns the session's query-planner template — the base
+// configuration per-request overrides start from (see AnswerObjectsWith).
+func (s *Session) QueryConfig() queryans.Config { return s.cfg.Query }
 
 // AnswerObjects answers an online query over the cached accuracies,
 // dependence table and compiled claim lists — no per-call re-derivation.

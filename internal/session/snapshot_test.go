@@ -1,0 +1,340 @@
+package session
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/depen"
+	"sourcecurrents/internal/model"
+	"sourcecurrents/internal/recommend"
+	"sourcecurrents/internal/snapio"
+	"sourcecurrents/internal/synth"
+	"sourcecurrents/internal/truth"
+)
+
+func snapshotBytes(t testing.TB, s *Session) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRoundTripGolden pins the central contract: a loaded snapshot
+// is deep-equal to the session it was taken of — discovery result
+// (posteriors, accuracies, every pair verdict, directional tables), dataset
+// view, and the dense serving tables — and every serving call returns
+// bit-identical results.
+func TestSnapshotRoundTripGolden(t *testing.T) {
+	d := servingWorld(t, 17)
+	s, err := New(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := snapshotBytes(t, s)
+	got, err := LoadSnapshot(bytes.NewReader(raw), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got.Dependence(), s.Dependence()) {
+		t.Fatal("depen.Result differs after snapshot round trip")
+	}
+	if !reflect.DeepEqual(got.Dataset().Claims(), s.Dataset().Claims()) {
+		t.Fatal("dataset claims differ after snapshot round trip")
+	}
+	if !reflect.DeepEqual(got.acc, s.acc) {
+		t.Fatal("dense accuracy vector differs after snapshot round trip")
+	}
+	if !reflect.DeepEqual(got.depTab, s.depTab) {
+		t.Fatal("dense dependence table differs after snapshot round trip")
+	}
+
+	for _, q := range queries(d) {
+		want, err := s.AnswerObjects(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := got.AnswerObjects(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(have, want) {
+			t.Fatal("AnswerObjects differs after snapshot round trip")
+		}
+	}
+	wantFuse, err := s.Fuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	haveFuse, err := got.Fuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(haveFuse.Chosen, wantFuse.Chosen) ||
+		!reflect.DeepEqual(haveFuse.Relation, wantFuse.Relation) {
+		t.Fatal("Fuse differs after snapshot round trip")
+	}
+	wantTop, err := s.RecommendSources(recommend.DefaultWeights(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	haveTop, err := got.RecommendSources(recommend.DefaultWeights(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(haveTop, wantTop) {
+		t.Fatal("RecommendSources differs after snapshot round trip")
+	}
+
+	// A second encode of the loaded session is byte-identical (canonical).
+	if !bytes.Equal(snapshotBytes(t, got), raw) {
+		t.Fatal("re-encoded snapshot is not byte-identical")
+	}
+}
+
+// TestSnapshotRoundTripWithKnownAndSim exercises the inline-value path (a
+// Known pin for a value no source asserts) and the callback fingerprint.
+func TestSnapshotRoundTripWithKnownAndSim(t *testing.T) {
+	d := servingWorld(t, 23)
+	cfg := DefaultConfig()
+	obj := d.Objects()[0]
+	cfg.Depen.Truth.Known = map[model.ObjectID]string{obj: "value-nobody-asserts"}
+	s, err := New(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := snapshotBytes(t, s)
+	got, err := LoadSnapshot(bytes.NewReader(raw), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Dependence(), s.Dependence()) {
+		t.Fatal("depen.Result differs with Known pin")
+	}
+	if got.Dependence().Truth.Chosen[obj] != "value-nobody-asserts" {
+		t.Fatal("inline Known value lost in round trip")
+	}
+
+	// Loading under a config without the pin must be refused.
+	if _, err := LoadSnapshot(bytes.NewReader(raw), DefaultConfig()); err == nil {
+		t.Fatal("expected fingerprint mismatch for missing Known")
+	}
+	// ... and so must a Known map of the same size with different content
+	// (the fingerprint hashes the entries, not just the count).
+	cfg2 := DefaultConfig()
+	cfg2.Depen.Truth.Known = map[model.ObjectID]string{obj: "a-different-label"}
+	if _, err := LoadSnapshot(bytes.NewReader(raw), cfg2); err == nil {
+		t.Fatal("expected fingerprint mismatch for changed Known value")
+	}
+	cfg3 := DefaultConfig()
+	cfg3.Depen.Truth.Known = map[model.ObjectID]string{d.Objects()[1]: "value-nobody-asserts"}
+	if _, err := LoadSnapshot(bytes.NewReader(raw), cfg3); err == nil {
+		t.Fatal("expected fingerprint mismatch for changed Known object")
+	}
+}
+
+func TestSnapshotFingerprintMismatch(t *testing.T) {
+	d := servingWorld(t, 29)
+	s, err := New(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := snapshotBytes(t, s)
+
+	cfg := DefaultConfig()
+	cfg.Depen.CopyRate = 0.5
+	if _, err := LoadSnapshot(bytes.NewReader(raw), cfg); err == nil {
+		t.Fatal("expected fingerprint mismatch for CopyRate change")
+	}
+	cfg = DefaultConfig()
+	cfg.Depen.Truth.ValueSim = func(a, b string) float64 { return 0 }
+	cfg.Depen.Truth.ValueSimWeight = 0.1
+	if _, err := LoadSnapshot(bytes.NewReader(raw), cfg); err == nil {
+		t.Fatal("expected fingerprint mismatch for ValueSim change")
+	}
+
+	// Serving-only knobs may differ freely.
+	cfg = DefaultConfig()
+	cfg.Parallelism = 4
+	cfg.Query.MaxSources = 3
+	if _, err := LoadSnapshot(bytes.NewReader(raw), cfg); err != nil {
+		t.Fatalf("serving-knob change rejected: %v", err)
+	}
+}
+
+func TestSnapshotCorruption(t *testing.T) {
+	d := servingWorld(t, 31)
+	s, err := New(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := snapshotBytes(t, s)
+
+	t.Run("wrong magic", func(t *testing.T) {
+		mut := append([]byte(nil), raw...)
+		copy(mut, "NOTASNAP")
+		if _, err := LoadSnapshot(bytes.NewReader(mut), DefaultConfig()); !errors.Is(err, snapio.ErrBadMagic) {
+			t.Fatalf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		mut := append([]byte(nil), raw...)
+		mut[snapio.MagicLen] = SnapshotVersion + 1
+		if _, err := LoadSnapshot(bytes.NewReader(mut), DefaultConfig()); !errors.Is(err, snapio.ErrBadVersion) {
+			t.Fatalf("err = %v, want ErrBadVersion", err)
+		}
+	})
+	t.Run("dataset snapshot magic inside session frame", func(t *testing.T) {
+		// A dataset snapshot is not a session snapshot.
+		var buf bytes.Buffer
+		if err := d.WriteSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSnapshot(bytes.NewReader(buf.Bytes()), DefaultConfig()); !errors.Is(err, snapio.ErrBadMagic) {
+			t.Fatalf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("truncation everywhere", func(t *testing.T) {
+		step := 1
+		if len(raw) > 4096 {
+			step = len(raw) / 4096
+		}
+		for cut := 0; cut < len(raw); cut += step {
+			if _, err := LoadSnapshot(bytes.NewReader(raw[:cut]), DefaultConfig()); err == nil {
+				t.Fatalf("cut at %d of %d bytes decoded successfully", cut, len(raw))
+			}
+		}
+	})
+	t.Run("payload bit flips", func(t *testing.T) {
+		for off := snapio.MagicLen; off < len(raw); off += 97 {
+			mut := append([]byte(nil), raw...)
+			mut[off] ^= 0x20
+			if _, err := LoadSnapshot(bytes.NewReader(mut), DefaultConfig()); err == nil {
+				t.Fatalf("bit flip at %d decoded successfully", off)
+			}
+		}
+	})
+}
+
+// TestSnapshotLoadBeatsBuild pins the cold-start win: loading the snapshot
+// must be at least 5x faster than rebuilding the session from raw claims
+// (the acceptance bar; the measured margin is far larger — see
+// BenchmarkSnapshotLoad vs BenchmarkSessionBuild).
+func TestSnapshotLoadBeatsBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in short mode")
+	}
+	// The tiny servingWorld has almost no precompute to skip; the cold-start
+	// claim is about serving scale, so measure at the acceptance bar's 500
+	// sources (the benchmark world's shape: 500 independents + 50 copiers,
+	// 30 objects), where depen.Detect's O(S²·rounds) pairwise scoring
+	// dominates construction.
+	accs := make([]float64, 500)
+	for i := range accs {
+		accs[i] = 0.55 + 0.4*float64(i%9)/8
+	}
+	copiers := make([]synth.CopierSpec, 50)
+	for i := range copiers {
+		copiers[i] = synth.CopierSpec{MasterIndex: i, CopyRate: 0.8, OwnAcc: 0.6}
+	}
+	sw, err := synth.GenerateSnapshot(synth.SnapshotConfig{
+		Seed:           37,
+		NObjects:       30,
+		IndependentAcc: accs,
+		Copiers:        copiers,
+		FalsePool:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sw.Dataset
+	cfg := DefaultConfig()
+	s, err := New(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := snapshotBytes(t, s)
+
+	// One rep each: the measured margin is an order of magnitude, far above
+	// timer noise. The build rep re-ingests raw claims so the lazily
+	// compiled columnar index is not shared with the warmup session.
+	buildStart := time.Now()
+	fresh, err := dataset.FromClaims(d.Claims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(fresh, cfg); err != nil {
+		t.Fatal(err)
+	}
+	buildTime := time.Since(buildStart)
+
+	loadStart := time.Now()
+	if _, err := LoadSnapshot(bytes.NewReader(raw), cfg); err != nil {
+		t.Fatal(err)
+	}
+	loadTime := time.Since(loadStart)
+
+	if loadTime*5 > buildTime {
+		t.Fatalf("LoadSnapshot %v not ≥5x faster than NewSession %v", loadTime, buildTime)
+	}
+	t.Logf("build %v, load %v (%.1fx)", buildTime, loadTime,
+		float64(buildTime)/float64(loadTime))
+}
+
+// FuzzLoadSnapshot drives the session-snapshot decoder with arbitrary
+// bytes: error or success, never a panic.
+func FuzzLoadSnapshot(f *testing.F) {
+	d := servingWorld(f, 41)
+	s, err := New(d, DefaultConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	raw := buf.Bytes()
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add([]byte{})
+	f.Add([]byte(SnapshotMagic))
+	mut := append([]byte(nil), raw...)
+	mut[len(mut)/2] ^= 0xFF
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := LoadSnapshot(bytes.NewReader(data), DefaultConfig())
+		if err == nil && got == nil {
+			t.Fatal("nil session without error")
+		}
+	})
+}
+
+// TestResultFromPartsMatchesDetect double-checks the depen reassembly path
+// against a live Detect result, independent of the binary format.
+func TestResultFromPartsMatchesDetect(t *testing.T) {
+	d := servingWorld(t, 43)
+	s, err := New(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := s.Dependence()
+	tr := &truth.Result{
+		Probs:     dep.Truth.Probs,
+		Accuracy:  dep.Truth.Accuracy,
+		Rounds:    dep.Truth.Rounds,
+		Converged: dep.Truth.Converged,
+	}
+	tr.PickChosen()
+	// nil index slices exercise the lookup fallback path.
+	rebuilt := depen.ResultFromParts(tr, d.Sources(), dep.AllPairs, nil, nil,
+		DefaultConfig().Depen.DepThreshold, dep.Rounds, dep.Converged)
+	if !reflect.DeepEqual(rebuilt, dep) {
+		t.Fatal("ResultFromParts does not reproduce Detect's result")
+	}
+}

@@ -1,0 +1,188 @@
+package snapio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+const testMagic = "SNAPTEST"
+
+func frame(t *testing.T, version uint32, build func(w *Writer)) []byte {
+	t.Helper()
+	var w Writer
+	build(&w)
+	var buf bytes.Buffer
+	if err := w.Frame(&buf, testMagic, version); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTripPrimitives(t *testing.T) {
+	raw := frame(t, 1, func(w *Writer) {
+		w.U8(200)
+		w.Bool(true)
+		w.Bool(false)
+		w.U32(0xDEADBEEF)
+		w.U64(1 << 60)
+		w.I64(-42)
+		w.F64(3.14159e-300)
+		w.Str("hello, 世界")
+		w.Str("")
+	})
+	r, version, err := OpenFrame(bytes.NewReader(raw), testMagic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 {
+		t.Fatalf("version = %d", version)
+	}
+	if got := r.U8(); got != 200 {
+		t.Errorf("U8 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %x", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.F64(); got != 3.14159e-300 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.Str(); got != "hello, 世界" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := r.Str(); got != "" {
+		t.Errorf("empty Str = %q", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	raw := frame(t, 1, func(w *Writer) { w.U32(7) })
+	raw[0] ^= 0xFF
+	if _, _, err := OpenFrame(bytes.NewReader(raw), testMagic, 1); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	for _, v := range []uint32{0, 2, 99} {
+		var w Writer
+		w.U32(7)
+		var buf bytes.Buffer
+		if v == 0 {
+			// Frame a zero version by patching a valid frame.
+			if err := w.Frame(&buf, testMagic, 1); err != nil {
+				t.Fatal(err)
+			}
+			b := buf.Bytes()
+			b[MagicLen] = 0
+			buf = *bytes.NewBuffer(b)
+		} else if err := w.Frame(&buf, testMagic, v); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := OpenFrame(bytes.NewReader(buf.Bytes()), testMagic, 1); !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("version %d: err = %v, want ErrBadVersion", v, err)
+		}
+	}
+}
+
+func TestTruncatedEverywhere(t *testing.T) {
+	raw := frame(t, 1, func(w *Writer) {
+		w.U32(12345)
+		w.Str("payload string")
+		w.F64(1.5)
+	})
+	for cut := 0; cut < len(raw); cut++ {
+		r, _, err := OpenFrame(bytes.NewReader(raw[:cut]), testMagic, 1)
+		if err == nil {
+			// Frame opened (cut beyond the CRC is impossible: cut < len).
+			_ = r
+			t.Fatalf("cut %d: frame unexpectedly opened", cut)
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) &&
+			!errors.Is(err, ErrChecksum) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut %d: unexpected error %v", cut, err)
+		}
+	}
+}
+
+func TestChecksumMismatch(t *testing.T) {
+	raw := frame(t, 1, func(w *Writer) { w.Str("checksummed") })
+	raw[MagicLen+4+8+2] ^= 0x01 // flip a payload bit
+	if _, _, err := OpenFrame(bytes.NewReader(raw), testMagic, 1); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestReaderLatchesFirstError(t *testing.T) {
+	raw := frame(t, 1, func(w *Writer) { w.U8(1) })
+	r, _, err := OpenFrame(bytes.NewReader(raw), testMagic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.U8()
+	_ = r.U64() // past the end: latches
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected latched error")
+	}
+	_ = r.Str()
+	_ = r.F64()
+	if r.Err() != first {
+		t.Fatal("error was overwritten")
+	}
+}
+
+func TestCountAndIndexValidation(t *testing.T) {
+	raw := frame(t, 1, func(w *Writer) {
+		w.U32(1 << 30) // absurd count
+	})
+	r, _, err := OpenFrame(bytes.NewReader(raw), testMagic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Count(8); n != 0 || !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("Count = %d, err = %v", n, r.Err())
+	}
+
+	raw = frame(t, 1, func(w *Writer) { w.U32(9) })
+	r, _, err = OpenFrame(bytes.NewReader(raw), testMagic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := r.Index(9); i != 0 || !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("Index = %d, err = %v", i, r.Err())
+	}
+}
+
+func TestFinishRejectsTrailingBytes(t *testing.T) {
+	raw := frame(t, 1, func(w *Writer) { w.U32(1); w.U32(2) })
+	r, _, err := OpenFrame(bytes.NewReader(raw), testMagic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.U32()
+	if err := r.Finish(); !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("Finish = %v, want trailing-bytes ErrCorrupt", err)
+	}
+}
+
+func TestBadMagicLength(t *testing.T) {
+	var w Writer
+	var buf bytes.Buffer
+	if err := w.Frame(&buf, "short", 1); err == nil {
+		t.Fatal("expected error for short magic")
+	}
+}

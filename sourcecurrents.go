@@ -346,6 +346,30 @@ func NewSession(d *Dataset, cfg SessionConfig) (*Session, error) {
 	return session.New(d, cfg)
 }
 
+// Binary snapshots. A session snapshot captures the dataset (interned
+// string tables, CSR claim records) plus everything the precompute derived
+// (dense accuracy vector, truth posteriors, the full source×source
+// dependence table), so a query server cold-starts by decoding instead of
+// re-running discovery — see Session.WriteSnapshot and LoadSession.
+// Dataset.WriteSnapshot / ReadDatasetSnapshot are the dataset-only form.
+
+// LoadSession decodes a session snapshot written by Session.WriteSnapshot
+// and assembles a serving session without re-running discovery. cfg must
+// match the snapshot's precompute-shaping fields (checked against the
+// stored fingerprint); serving knobs are free to differ. The loaded
+// session serves bit-identical results to the one the snapshot was taken
+// of.
+func LoadSession(r io.Reader, cfg SessionConfig) (*Session, error) {
+	return session.LoadSnapshot(r, cfg)
+}
+
+// ReadDatasetSnapshot decodes a dataset snapshot written by
+// Dataset.WriteSnapshot, rebuilding the frozen dataset bit-identically
+// (claims restored in original ingestion order).
+func ReadDatasetSnapshot(r io.Reader) (*Dataset, error) {
+	return dataset.ReadSnapshot(r)
+}
+
 // Source recommendation.
 type (
 	// SourceProfile summarizes one source's quality axes.
