@@ -21,11 +21,14 @@
 //	currents snapshot -o out.snap [-parallelism N] file.csv
 //	    precompute a session and write the binary snapshot the server
 //	    cold-starts from
-//	currents server -addr :8080 -load DIR [-parallelism N]
+//	currents server -addr :8080 -load DIR [-parallelism N] [-cache-size N] [-cache-ttl D] [-pprof]
 //	    HTTP/JSON query service over a directory of datasets
-//	    (*.snap snapshots, *.csv claims); graceful shutdown on SIGINT
+//	    (*.snap snapshots, *.csv claims); LRU answer cache (1024 entries
+//	    by default, 0 disables; -cache-ttl bounds entry lifetime),
+//	    optional net/http/pprof endpoints, graceful shutdown on SIGINT
 //	currents loadgen -addr URL -dataset NAME -query "e,a" [-concurrency N] [-duration 5s]
 //	    hammer a running server, report throughput + latency percentiles
+//	    and the server-observed answer-cache hit ratio (from /metrics)
 //
 // Every analysis subcommand also accepts -cpuprofile FILE and -memprofile
 // FILE to write pprof evidence for performance work.

@@ -5,15 +5,18 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -84,10 +87,13 @@ func runServer(args []string) error {
 	load := fs.String("load", "", "directory of datasets to serve (*.snap, *.csv; required)")
 	parallelism := fs.Int("parallelism", 0, "worker count per request (0 = all cores)")
 	maxBytes := fs.Int64("max-request-bytes", server.DefaultMaxRequestBytes, "request body cap")
+	cacheSize := fs.Int("cache-size", 1024, "answer cache capacity in entries (0 disables)")
+	cacheTTL := fs.Duration("cache-ttl", 0, "answer cache entry lifetime (0 = until evicted)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	prof := profiling.Register(fs)
 	_ = fs.Parse(args)
 	if *load == "" || fs.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: currents server -addr :8080 -load DIR [-parallelism N]")
+		fmt.Fprintln(os.Stderr, "usage: currents server -addr :8080 -load DIR [-parallelism N] [-cache-size N] [-cache-ttl D] [-pprof]")
 		os.Exit(2)
 	}
 	if err := prof.Start(); err != nil {
@@ -107,9 +113,28 @@ func runServer(args []string) error {
 	fmt.Fprintf(os.Stderr, "server: %d dataset(s) ready in %v, listening on %s\n",
 		reg.Len(), time.Since(start).Round(time.Millisecond), *addr)
 
+	var handler http.Handler = server.New(reg, server.Options{
+		MaxRequestBytes: *maxBytes,
+		AnswerCacheSize: *cacheSize,
+		AnswerCacheTTL:  *cacheTTL,
+	})
+	if *pprofOn {
+		// Profiling endpoints are opt-in: they expose internals and cost
+		// CPU while sampling, so production servers keep them off unless an
+		// operator is actively investigating.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Fprintln(os.Stderr, "server: pprof endpoints enabled at /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(reg, server.Options{MaxRequestBytes: *maxBytes}),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -190,6 +215,12 @@ func runLoadgen(args []string) error {
 		MaxIdleConnsPerHost: *concurrency * 2,
 	}}
 
+	// Snapshot the server-side answer-cache counters so the delta over the
+	// run yields the server-observed hit ratio (loadgen sends identical
+	// requests, so the ratio tells an operator how much of the measured
+	// throughput the cache absorbed).
+	hits0, misses0, haveCache := scrapeCacheCounters(client, base)
+
 	type workerStats struct {
 		lat    []time.Duration
 		errors int
@@ -254,5 +285,47 @@ func runLoadgen(args []string) error {
 	fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+	if *op == "answer" {
+		if hits1, misses1, ok := scrapeCacheCounters(client, base); ok && haveCache {
+			hits, lookups := hits1-hits0, (hits1-hits0)+(misses1-misses0)
+			if lookups > 0 {
+				fmt.Printf("server answer cache: %d/%d lookups hit (%.1f%%)\n",
+					hits, lookups, 100*float64(hits)/float64(lookups))
+			} else {
+				fmt.Println("server answer cache: no lookups observed (cache disabled?)")
+			}
+		} else {
+			fmt.Println("server answer cache: /metrics counters unavailable")
+		}
+	}
 	return nil
+}
+
+// scrapeCacheCounters reads the answer-cache hit/miss counters from the
+// server's /metrics endpoint; ok is false when the endpoint is unreachable
+// or the series are absent (an older server build).
+func scrapeCacheCounters(client *http.Client, base string) (hits, misses int64, ok bool) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, false
+	}
+	var haveHits, haveMisses bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, found := strings.CutPrefix(line, "currents_answer_cache_hits_total "); found {
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				hits, haveHits = n, true
+			}
+		} else if v, found := strings.CutPrefix(line, "currents_answer_cache_misses_total "); found {
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				misses, haveMisses = n, true
+			}
+		}
+	}
+	return hits, misses, haveHits && haveMisses
 }

@@ -1,0 +1,110 @@
+// Command perfguard compares `go test -bench` output against the ns/op
+// numbers recorded in BENCH_baseline.json and fails when any benchmark
+// regressed beyond an allowed factor.
+//
+// It is the CI tripwire for the serve-path performance work: the baseline
+// file is measured on a known container, CI hardware differs and smoke
+// benchtimes are short, so the factor is deliberately loose (2.5x in the
+// blocking CI step) — it catches order-of-magnitude regressions (an
+// accidentally quadratic loop, a lost cache), not percent-level drift.
+// Benchmarks present in the run but absent from the baseline are reported
+// and skipped, so adding a benchmark never breaks the guard before the
+// baseline is refreshed.
+//
+//	go test -short -bench ... -benchtime 2x -run '^$' ./... > bench.txt
+//	perfguard -baseline BENCH_baseline.json -bench bench.txt -factor 2.5
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type baselineFile struct {
+	Benchmarks map[string]struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+// benchLine matches one benchmark result line: name, iteration count and
+// ns/op. The trailing -N GOMAXPROCS suffix is stripped from the name so it
+// matches the baseline keys.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON path")
+	benchPath := flag.String("bench", "-", "go test -bench output path (- for stdin)")
+	factor := flag.Float64("factor", 2.5, "fail when ns/op exceeds baseline by this factor")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *baselinePath, err))
+	}
+
+	var in io.Reader = os.Stdin
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var regressed, compared, unknown int
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		want, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("SKIP  %-50s %12.0f ns/op (not in baseline)\n", name, ns)
+			unknown++
+			continue
+		}
+		compared++
+		ratio := ns / want.NsPerOp
+		status := "OK"
+		if ratio > *factor {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-5s %-50s %12.0f ns/op  baseline %12.0f  (%.2fx, limit %.2fx)\n",
+			status, name, ns, want.NsPerOp, ratio, *factor)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no benchmark lines matched the baseline (wrong -bench file?)"))
+	}
+	fmt.Printf("perfguard: %d compared, %d regressed, %d unknown (factor %.2fx)\n",
+		compared, regressed, unknown, *factor)
+	if regressed > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfguard:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,255 @@
+package queryans
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/model"
+)
+
+// benchWorld is goldenQueryWorld scaled to nSrc sources for the planner
+// benchmark.
+func benchWorld(tb testing.TB, nSrc int) (*dataset.Dataset, Config) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(int64(nSrc)))
+	d := dataset.New()
+	nObj := 40
+	objs := make([]model.ObjectID, nObj)
+	for i := range objs {
+		objs[i] = model.Obj(fmt.Sprintf("o%02d", i), "v")
+	}
+	acc := map[model.SourceID]float64{}
+	inClique := map[model.SourceID]bool{}
+	for s := 0; s < nSrc; s++ {
+		id := model.SourceID(fmt.Sprintf("S%03d", s))
+		acc[id] = 0.55 + 0.1*float64(s%5)
+		for i := 0; i < nObj; i++ {
+			v := fmt.Sprintf("T%d", i)
+			if rng.Intn(4) == 0 {
+				v = fmt.Sprintf("F%d_%d", i, rng.Intn(3))
+			}
+			_ = d.Add(model.NewClaim(id, objs[i], v))
+		}
+		if s%4 == 0 {
+			inClique[id] = true
+		}
+	}
+	d.Freeze()
+	cfg := DefaultConfig()
+	cfg.Accuracy = acc
+	cfg.Dependence = func(a, b model.SourceID) float64 {
+		if inClique[a] && inClique[b] {
+			return 0.9
+		}
+		return 0
+	}
+	return d, cfg
+}
+
+// Edge-case coverage for the lazy-greedy (CELF) Planner.Answer path: each
+// case is pinned reflect.DeepEqual against the map-based reference at
+// Parallelism 1/4/16, so the heap selection, the dense slot state and the
+// incremental group scores reproduce the reference bit-for-bit at the
+// boundaries where lazy evaluation could drift (no candidates, duplicate
+// coverage mass, a probe cap tighter than the candidate pool, early stop).
+
+func TestLazyGreedyEdgeCases(t *testing.T) {
+	d, base := goldenQueryWorld(t, 42)
+	objs := d.Objects()
+	ghost := []model.ObjectID{model.Obj("ghost1", "v"), model.Obj("ghost2", "v")}
+
+	cases := []struct {
+		name  string
+		query []model.ObjectID
+		mut   func(*Config)
+	}{
+		{"all-unknown objects", ghost, func(c *Config) {}},
+		{"duplicate query objects",
+			[]model.ObjectID{objs[2], objs[2], objs[5], objs[2], objs[5]},
+			func(c *Config) {}},
+		{"duplicates with unknowns",
+			[]model.ObjectID{objs[2], ghost[0], objs[2], ghost[0]},
+			func(c *Config) {}},
+		{"MaxSources below candidate count", objs[:6],
+			func(c *Config) { c.MaxSources = 2 }},
+		{"MaxSources of one", objs[:6],
+			func(c *Config) { c.MaxSources = 1 }},
+		{"MaxSources above candidate count", objs[:6],
+			func(c *Config) { c.MaxSources = 10000 }},
+		{"StopProb early exit", objs[:6],
+			func(c *Config) { c.StopProb = 0.5 }},
+		{"StopProb unreachable", objs[:6],
+			func(c *Config) { c.StopProb = 0.999999 }},
+		{"single object", objs[3:4], func(c *Config) {}},
+	}
+	for _, tc := range cases {
+		for _, pol := range []Policy{GreedyGain, AccuracyCoverage, ByID} {
+			cfg := base
+			cfg.Policy = pol
+			tc.mut(&cfg)
+			ref := cfg
+			ref.Parallelism = 1
+			want, err := answerObjectsMaps(d, tc.query, ref)
+			if err != nil {
+				t.Fatalf("%s/%v: reference: %v", tc.name, pol, err)
+			}
+			for _, par := range []int{1, 4, 16} {
+				run := cfg
+				run.Parallelism = par
+				got, err := AnswerObjects(d, tc.query, run)
+				if err != nil {
+					t.Fatalf("%s/%v par=%d: %v", tc.name, pol, par, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s/%v par=%d: compiled trace differs from map reference",
+						tc.name, pol, par)
+				}
+			}
+		}
+	}
+}
+
+// TestLazyGreedyEmptyQuery pins that both paths reject an empty query.
+func TestLazyGreedyEmptyQuery(t *testing.T) {
+	d, cfg := goldenQueryWorld(t, 42)
+	if _, err := answerObjectsMaps(d, nil, cfg); err == nil {
+		t.Fatal("reference accepted an empty query")
+	}
+	for _, par := range []int{1, 4, 16} {
+		run := cfg
+		run.Parallelism = par
+		if _, err := AnswerObjects(d, nil, run); err == nil {
+			t.Fatalf("par=%d: compiled path accepted an empty query", par)
+		}
+		p, err := NewPlanner(d, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Answer(nil); err == nil {
+			t.Fatalf("par=%d: planner accepted an empty query", par)
+		}
+	}
+}
+
+// TestPlannerScratchReuseAcrossQueries pins that a recycled scratch cannot
+// leak state between requests: interleaved queries of different shapes
+// through one planner match fresh one-shot runs every time.
+func TestPlannerScratchReuseAcrossQueries(t *testing.T) {
+	d, cfg := goldenQueryWorld(t, 7)
+	objs := d.Objects()
+	p, err := NewPlanner(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := objs[len(objs)-1]
+	queries := [][]model.ObjectID{
+		objs,
+		objs[:3],
+		{objs[1], objs[1], objs[9]},
+		{model.Obj("ghost", "v")},
+		objs[:17],
+		{last, model.Obj("ghost", "v"), last},
+	}
+	for round := 0; round < 3; round++ {
+		for qi, q := range queries {
+			want, err := AnswerObjects(d, q, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.Answer(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d query %d: reused planner differs from one-shot", round, qi)
+			}
+		}
+	}
+}
+
+// TestDeriveMatchesDense pins that a derived planner answers identically to
+// a fresh dense planner under the same overridden configuration.
+func TestDeriveMatchesDense(t *testing.T) {
+	d, cfg := goldenQueryWorld(t, 21)
+	c := d.Compiled()
+	nS := len(c.Sources)
+	acc := make([]float64, nS)
+	for i, s := range c.Sources {
+		acc[i] = cfg.Accuracy[s]
+	}
+	depTab := make([]float64, nS*nS)
+	for i := range c.Sources {
+		for j := range c.Sources {
+			depTab[i*nS+j] = cfg.Dependence(c.Sources[i], c.Sources[j])
+		}
+	}
+	base := cfg
+	base.Accuracy = nil
+	base.Dependence = nil
+	parent, err := NewPlannerDense(d, base, acc, depTab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := d.Objects()
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.Policy = AccuracyCoverage },
+		func(c *Config) { c.MaxSources = 3 },
+		func(c *Config) { c.StopProb = 0.6 },
+		func(c *Config) { c.N = 50 }, // forces a weight recompute
+	} {
+		over := base
+		mut(&over)
+		derived, err := parent.Derive(over)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewPlannerDense(d, over, acc, depTab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Answer(objs[:8])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := derived.Answer(objs[:8])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatal("derived planner differs from fresh dense planner")
+		}
+	}
+	// Invalid overrides surface Validate errors.
+	bad := base
+	bad.MaxSources = -1
+	if _, err := parent.Derive(bad); err == nil {
+		t.Fatal("Derive accepted an invalid config")
+	}
+}
+
+// BenchmarkPlannerAnswerMicro is the in-package micro form of the root
+// BenchmarkPlannerAnswer: one precompiled planner answering a 5-object
+// query over small map-configured worlds, cheap enough for -benchtime
+// sweeps while iterating on the planner.
+func BenchmarkPlannerAnswerMicro(b *testing.B) {
+	for _, n := range []int{12, 48} {
+		b.Run(fmt.Sprintf("sources=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			d, cfg := benchWorld(b, n)
+			p, err := NewPlanner(d, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			query := d.Objects()[:5]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Answer(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -15,6 +15,12 @@ import (
 // benchServer builds an httptest server over one synthetic dataset of the
 // given scale, returning the base URL and a small answer-request body.
 func benchServer(b *testing.B, nSources, nObjects int) (string, string) {
+	return benchServerCached(b, nSources, nObjects, Options{})
+}
+
+// benchServerCached is benchServer with explicit server options (answer
+// cache configuration).
+func benchServerCached(b testing.TB, nSources, nObjects int, opt Options) (string, string) {
 	b.Helper()
 	accs := make([]float64, nSources)
 	for i := range accs {
@@ -42,7 +48,7 @@ func benchServer(b *testing.B, nSources, nObjects int) (string, string) {
 	if err := reg.Register("bench", s); err != nil {
 		b.Fatal(err)
 	}
-	ts := httptest.NewServer(New(reg, Options{}))
+	ts := httptest.NewServer(New(reg, opt))
 	b.Cleanup(ts.Close)
 
 	objs := sw.Dataset.Objects()
@@ -82,6 +88,43 @@ func BenchmarkServerAnswer(b *testing.B) {
 				b.Skip("large scale skipped in short mode")
 			}
 			url, body := benchServer(b, sz.sources, sz.objects)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := http.Post(url+"/v1/bench/answer", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerAnswerCached measures the cache-hit round trip: the same
+// answer request repeated against a cache-enabled server, so every
+// measured iteration after the first is HTTP + LRU lookup. Compare with
+// BenchmarkServerAnswer at the same size for the hit-vs-cold ratio.
+func BenchmarkServerAnswerCached(b *testing.B) {
+	for _, sz := range serverBenchSizes {
+		b.Run(fmt.Sprintf("sources=%d", sz.sources), func(b *testing.B) {
+			b.ReportAllocs()
+			if testing.Short() && !sz.short {
+				b.Skip("large scale skipped in short mode")
+			}
+			url, body := benchServerCached(b, sz.sources, sz.objects, Options{AnswerCacheSize: 64})
+			// Warm the single entry so every timed iteration hits.
+			warm, err := http.Post(url+"/v1/bench/answer", "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _ = io.Copy(io.Discard, warm.Body)
+			warm.Body.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				resp, err := http.Post(url+"/v1/bench/answer", "application/json", bytes.NewReader([]byte(body)))

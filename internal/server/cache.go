@@ -1,0 +1,154 @@
+// Server-side answer cache: an LRU with optional TTL layered above the
+// singleflight group.
+//
+// Singleflight only helps while identical requests overlap; a *series* of
+// identical queries spread over time — the dashboard that re-asks the same
+// question every few seconds, the hot entity every client looks up — pays
+// the full planner cost each time. The cache closes that gap: a hit returns
+// the previously rendered response bytes, which are byte-identical to a
+// fresh computation because the planner is deterministic and the cache key
+// captures every request field that can influence the bytes.
+//
+// The key is the *normalized* request (see AnswerRequest.cacheKey): the
+// decoded semantic fields rather than the raw body, so requests differing
+// only in JSON whitespace, field order or the parallelism override (results
+// are bit-identical at every parallelism, a property the determinism suites
+// pin) share an entry. The query list is length-prefixed in request order,
+// duplicates included: answer traces are positional and duplicate entries
+// change the greedy gain sums, so reordering or deduplicating the query
+// would conflate requests with different byte-exact responses.
+//
+// Only status-200 responses are cached. Hit/miss/eviction counts and the
+// entry gauge are exported on /metrics.
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// answerCache is a mutex-guarded LRU of rendered answer responses. A nil
+// *answerCache is a valid, always-missing cache (caching disabled).
+type answerCache struct {
+	mu      sync.Mutex
+	maxSize int
+	ttl     time.Duration // 0 = entries never expire
+	order   *list.List    // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+
+	// now is the clock, injectable for TTL tests.
+	now func() time.Time
+}
+
+type cacheEntry struct {
+	key     string
+	body    []byte
+	expires time.Time // zero = never
+}
+
+// newAnswerCache returns a cache bounded to maxSize entries with the given
+// TTL, or nil (disabled) when maxSize <= 0.
+func newAnswerCache(maxSize int, ttl time.Duration) *answerCache {
+	if maxSize <= 0 {
+		return nil
+	}
+	return &answerCache{
+		maxSize: maxSize,
+		ttl:     ttl,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, maxSize),
+		now:     time.Now,
+	}
+}
+
+// get returns the cached response body for key, counting the lookup. An
+// expired entry is removed (counted as an eviction) and reported as a miss.
+func (c *answerCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.expires.IsZero() || !c.now().After(e.expires) {
+			c.order.MoveToFront(el)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return e.body, true
+		}
+		c.order.Remove(el)
+		delete(c.entries, key)
+		c.evictions.Add(1)
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// put stores a rendered response, evicting the least recently used entry
+// when full. body must not be mutated afterwards.
+func (c *answerCache) put(key string, body []byte) {
+	if c == nil {
+		return
+	}
+	e := &cacheEntry{key: key, body: body}
+	if c.ttl > 0 {
+		e.expires = c.now().Add(c.ttl)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(e)
+	for c.order.Len() > c.maxSize {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// len returns the current entry count.
+func (c *answerCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// writeMetrics renders the cache series in Prometheus text form. The series
+// are always present — zeros when caching is disabled — so scrapers (and
+// `currents loadgen`) never have to special-case a missing metric.
+func (c *answerCache) writeMetrics(w io.Writer) {
+	var hits, misses, evictions int64
+	var size int
+	if c != nil {
+		hits, misses, evictions = c.hits.Load(), c.misses.Load(), c.evictions.Load()
+		size = c.len()
+	}
+	fmt.Fprintf(w, "# HELP currents_answer_cache_hits_total Answer requests served from the response cache.\n")
+	fmt.Fprintf(w, "# TYPE currents_answer_cache_hits_total counter\n")
+	fmt.Fprintf(w, "currents_answer_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# HELP currents_answer_cache_misses_total Answer cache lookups that missed.\n")
+	fmt.Fprintf(w, "# TYPE currents_answer_cache_misses_total counter\n")
+	fmt.Fprintf(w, "currents_answer_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# HELP currents_answer_cache_evictions_total Entries evicted (capacity or TTL).\n")
+	fmt.Fprintf(w, "# TYPE currents_answer_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "currents_answer_cache_evictions_total %d\n", evictions)
+	fmt.Fprintf(w, "# HELP currents_answer_cache_entries Entries currently cached.\n")
+	fmt.Fprintf(w, "# TYPE currents_answer_cache_entries gauge\n")
+	fmt.Fprintf(w, "currents_answer_cache_entries %d\n", size)
+}

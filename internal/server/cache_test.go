@@ -1,0 +1,247 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// cacheTestServer builds a one-dataset server with the given cache options,
+// returning the base URL and the underlying *Server for counter access.
+func cacheTestServer(t testing.TB, opt Options) (*httptest.Server, *Server) {
+	t.Helper()
+	reg := NewRegistry()
+	if err := reg.Register("alpha", testSession(t, 11, 40)); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(reg, opt)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// TestAnswerCacheGolden pins the cache's correctness contract: a response
+// served from the cache is byte-identical to one computed fresh, across
+// alternating cached/uncached rounds and with/without the probe trace.
+func TestAnswerCacheGolden(t *testing.T) {
+	cached, _ := cacheTestServer(t, Options{AnswerCacheSize: 64})
+	fresh, _ := cacheTestServer(t, Options{}) // cache disabled
+	sess := testSession(t, 11, 40)
+	for _, body := range []string{
+		answerBody(t, sess, 3),
+		answerBody(t, sess, 5),
+		`{"query":[{"entity":"e0","attribute":"a"},{"entity":"e1","attribute":"a"}],"include_steps":true}`,
+		`{"query":[{"entity":"e2","attribute":"a"}],"policy":"accuracy-coverage","max_sources":3}`,
+	} {
+		var first []byte
+		for round := 0; round < 3; round++ {
+			respC, gotC := post(t, cached.URL+"/v1/alpha/answer", body)
+			respF, gotF := post(t, fresh.URL+"/v1/alpha/answer", body)
+			if respC.StatusCode != http.StatusOK || respF.StatusCode != http.StatusOK {
+				t.Fatalf("round %d: status cached=%d fresh=%d", round, respC.StatusCode, respF.StatusCode)
+			}
+			if string(gotC) != string(gotF) {
+				t.Fatalf("round %d: cached response differs from uncached server\ncached: %s\nfresh:  %s",
+					round, gotC, gotF)
+			}
+			if round == 0 {
+				first = gotC
+			} else if string(gotC) != string(first) {
+				t.Fatalf("round %d: cached response drifted from round 0", round)
+			}
+		}
+	}
+}
+
+// TestAnswerCacheNormalizedKey pins that JSON-presentation variants and
+// parallelism-only differences share one cache entry, while semantic
+// differences do not.
+func TestAnswerCacheNormalizedKey(t *testing.T) {
+	ts, srv := cacheTestServer(t, Options{AnswerCacheSize: 64})
+	base := `{"query":[{"entity":"e0","attribute":"a"},{"entity":"e1","attribute":"a"}]}`
+	post(t, ts.URL+"/v1/alpha/answer", base)
+	if h := srv.cache.hits.Load(); h != 0 {
+		t.Fatalf("first request hit the cache (%d hits)", h)
+	}
+	// Whitespace variant, reordered fields, and a parallelism override all
+	// normalize to the same key.
+	variants := []string{
+		`{ "query" : [ {"entity":"e0","attribute":"a"}, {"entity":"e1","attribute":"a"} ] }`,
+		`{"query":[{"attribute":"a","entity":"e0"},{"attribute":"a","entity":"e1"}]}`,
+		`{"query":[{"entity":"e0","attribute":"a"},{"entity":"e1","attribute":"a"}],"parallelism":4}`,
+	}
+	for i, v := range variants {
+		resp, _ := post(t, ts.URL+"/v1/alpha/answer", v)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("variant %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if h := srv.cache.hits.Load(); h != int64(len(variants)) {
+		t.Fatalf("normalized variants: want %d hits, got %d", len(variants), h)
+	}
+	// Different order, different steps flag, different cap: distinct keys.
+	distinct := []string{
+		`{"query":[{"entity":"e1","attribute":"a"},{"entity":"e0","attribute":"a"}]}`,
+		`{"query":[{"entity":"e0","attribute":"a"},{"entity":"e1","attribute":"a"}],"include_steps":true}`,
+		`{"query":[{"entity":"e0","attribute":"a"},{"entity":"e1","attribute":"a"}],"max_sources":2}`,
+	}
+	before := srv.cache.hits.Load()
+	for i, v := range distinct {
+		resp, _ := post(t, ts.URL+"/v1/alpha/answer", v)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("distinct %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if h := srv.cache.hits.Load(); h != before {
+		t.Fatalf("semantically distinct requests hit the cache (%d new hits)", h-before)
+	}
+}
+
+// TestAnswerCacheHitFasterAndCounted exercises the metrics plumbing: the
+// hit/miss counters and the entry gauge appear on /metrics and move as
+// requests repeat.
+func TestAnswerCacheMetrics(t *testing.T) {
+	ts, _ := cacheTestServer(t, Options{AnswerCacheSize: 64})
+	sess := testSession(t, 11, 40)
+	body := answerBody(t, sess, 3)
+	for i := 0; i < 4; i++ {
+		post(t, ts.URL+"/v1/alpha/answer", body)
+	}
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"currents_answer_cache_hits_total 3",
+		"currents_answer_cache_misses_total 1",
+		"currents_answer_cache_evictions_total 0",
+		"currents_answer_cache_entries 1",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestAnswerCacheDisabledMetrics pins that the cache series stay present
+// (as zeros) when caching is off, so scrapers never special-case.
+func TestAnswerCacheDisabledMetrics(t *testing.T) {
+	ts, _ := cacheTestServer(t, Options{})
+	sess := testSession(t, 11, 40)
+	post(t, ts.URL+"/v1/alpha/answer", answerBody(t, sess, 3))
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"currents_answer_cache_hits_total 0",
+		"currents_answer_cache_misses_total 0",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestAnswerCacheLRUEviction fills a capacity-1 cache with alternating keys
+// and checks evictions are counted and correctness is preserved.
+func TestAnswerCacheLRUEviction(t *testing.T) {
+	ts, srv := cacheTestServer(t, Options{AnswerCacheSize: 1})
+	sess := testSession(t, 11, 40)
+	a, b := answerBody(t, sess, 2), answerBody(t, sess, 4)
+	var wantA, wantB []byte
+	for i := 0; i < 3; i++ {
+		_, gotA := post(t, ts.URL+"/v1/alpha/answer", a)
+		_, gotB := post(t, ts.URL+"/v1/alpha/answer", b)
+		if i == 0 {
+			wantA, wantB = gotA, gotB
+		} else if string(gotA) != string(wantA) || string(gotB) != string(wantB) {
+			t.Fatalf("round %d: eviction churn changed response bytes", i)
+		}
+	}
+	if ev := srv.cache.evictions.Load(); ev < 4 {
+		t.Fatalf("alternating keys on a size-1 cache: want >=4 evictions, got %d", ev)
+	}
+	if n := srv.cache.len(); n != 1 {
+		t.Fatalf("cache size: want 1, got %d", n)
+	}
+}
+
+// TestAnswerCacheTTL drives the injected clock past the TTL and checks the
+// entry expires (counted as an eviction) and is recomputed.
+func TestAnswerCacheTTL(t *testing.T) {
+	ts, srv := cacheTestServer(t, Options{AnswerCacheSize: 16, AnswerCacheTTL: time.Minute})
+	now := time.Unix(1000, 0)
+	srv.cache.now = func() time.Time { return now }
+	sess := testSession(t, 11, 40)
+	body := answerBody(t, sess, 3)
+
+	_, want := post(t, ts.URL+"/v1/alpha/answer", body)
+	post(t, ts.URL+"/v1/alpha/answer", body)
+	if h := srv.cache.hits.Load(); h != 1 {
+		t.Fatalf("within TTL: want 1 hit, got %d", h)
+	}
+	now = now.Add(2 * time.Minute)
+	_, got := post(t, ts.URL+"/v1/alpha/answer", body)
+	if h := srv.cache.hits.Load(); h != 1 {
+		t.Fatalf("expired entry still hit (hits=%d)", srv.cache.hits.Load())
+	}
+	if ev := srv.cache.evictions.Load(); ev != 1 {
+		t.Fatalf("TTL expiry: want 1 eviction, got %d", ev)
+	}
+	if string(got) != string(want) {
+		t.Fatal("recomputed response differs after TTL expiry")
+	}
+}
+
+// TestAnswerCacheErrorNotCached pins that non-200 responses never enter the
+// cache.
+func TestAnswerCacheErrorNotCached(t *testing.T) {
+	ts, srv := cacheTestServer(t, Options{AnswerCacheSize: 16})
+	bad := `{"query":[{"entity":"e0","attribute":"a"}],"policy":"no-such-policy"}`
+	for i := 0; i < 2; i++ {
+		resp, _ := post(t, ts.URL+"/v1/alpha/answer", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("want 400, got %d", resp.StatusCode)
+		}
+	}
+	if n := srv.cache.len(); n != 0 {
+		t.Fatalf("error response was cached (%d entries)", n)
+	}
+	if h := srv.cache.hits.Load(); h != 0 {
+		t.Fatalf("error response produced cache hits (%d)", h)
+	}
+}
+
+// TestAnswerCacheHitSpeedup pins the acceptance bound: a cache-hit round
+// trip is at least 10x faster than the cold answer it replays. The world is
+// sized so the cold answer costs real planner work (100 sources), keeping
+// the 10x margin far from HTTP noise.
+func TestAnswerCacheHitSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	url, body := benchServerCached(t, 100, 30, Options{AnswerCacheSize: 16})
+
+	cold := time.Now()
+	postRaw(t, url+"/v1/bench/answer", body)
+	coldDur := time.Since(cold)
+
+	const hits = 20
+	warm := time.Now()
+	for i := 0; i < hits; i++ {
+		postRaw(t, url+"/v1/bench/answer", body)
+	}
+	hitDur := time.Since(warm) / hits
+	if hitDur*10 > coldDur {
+		t.Fatalf("cache hit %v not >=10x faster than cold %v", hitDur, coldDur)
+	}
+}
+
+func postRaw(t testing.TB, url, body string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

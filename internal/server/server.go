@@ -32,6 +32,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"sourcecurrents/internal/probdb"
@@ -47,6 +48,14 @@ type Options struct {
 	// MaxRequestBytes caps the request body size; requests beyond it are
 	// answered 413. Zero means DefaultMaxRequestBytes.
 	MaxRequestBytes int64
+	// AnswerCacheSize bounds the server-side answer cache (entries across
+	// all datasets). Zero disables caching — the default, so embedding the
+	// handler changes nothing unless asked to.
+	AnswerCacheSize int
+	// AnswerCacheTTL expires cached answers after this duration; zero means
+	// entries live until evicted by capacity. Ignored unless
+	// AnswerCacheSize > 0.
+	AnswerCacheTTL time.Duration
 }
 
 // Server serves a Registry over HTTP. Create with New; safe for concurrent
@@ -55,6 +64,7 @@ type Server struct {
 	reg     *Registry
 	opt     Options
 	met     *metrics
+	cache   *answerCache
 	answers flightGroup
 }
 
@@ -63,7 +73,12 @@ func New(reg *Registry, opt Options) *Server {
 	if opt.MaxRequestBytes <= 0 {
 		opt.MaxRequestBytes = DefaultMaxRequestBytes
 	}
-	return &Server{reg: reg, opt: opt, met: newMetrics()}
+	return &Server{
+		reg:   reg,
+		opt:   opt,
+		met:   newMetrics(),
+		cache: newAnswerCache(opt.AnswerCacheSize, opt.AnswerCacheTTL),
+	}
 }
 
 // ErrorResponse is the JSON error payload.
@@ -78,18 +93,37 @@ type response struct {
 	body        []byte
 }
 
-// jsonResponse marshals v (with a trailing newline, matching
-// json.Encoder.Encode) into a response.
+// encodeBuffer is a pooled JSON encode buffer: the encoder's scratch and
+// the output buffer's capacity are recycled across requests, so a steady
+// state encode allocates only the final body copy.
+type encodeBuffer struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	eb := &encodeBuffer{}
+	eb.enc = json.NewEncoder(&eb.buf)
+	return eb
+}}
+
+// jsonResponse encodes v (with a trailing newline, byte-identical to
+// json.Marshal plus '\n') into a response using a pooled buffer.
 func jsonResponse(status int, v any) response {
-	b, err := json.Marshal(v)
-	if err != nil {
+	eb := encPool.Get().(*encodeBuffer)
+	eb.buf.Reset()
+	if err := eb.enc.Encode(v); err != nil {
+		encPool.Put(eb)
 		return response{
 			status:      http.StatusInternalServerError,
 			contentType: "application/json",
 			body:        []byte(`{"error":"encoding failure"}` + "\n"),
 		}
 	}
-	return response{status: status, contentType: "application/json", body: append(b, '\n')}
+	body := make([]byte, eb.buf.Len())
+	copy(body, eb.buf.Bytes())
+	encPool.Put(eb)
+	return response{status: status, contentType: "application/json", body: body}
 }
 
 // errResponse maps an error to its HTTP form.
@@ -150,6 +184,7 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) (string, response
 		}
 		var sb strings.Builder
 		s.met.write(&sb)
+		s.cache.writeMetrics(&sb)
 		return "metrics", response{
 			status:      http.StatusOK,
 			contentType: "text/plain; version=0.0.4; charset=utf-8",
@@ -236,30 +271,42 @@ func decodeBody(body []byte, v any) error {
 	return nil
 }
 
-// handleAnswer coalesces identical concurrent requests: the singleflight
-// key is (dataset, raw body), so byte-identical requests arriving while one
-// is being computed share its response.
+// handleAnswer serves an answer request through two read-mostly layers
+// keyed on the normalized request (dataset + AnswerRequest.cacheKey): the
+// LRU answer cache returns previously rendered bytes for a repeated
+// request, and the singleflight group computes a cache-missing response
+// once for every identical concurrent request. Keying on the decoded
+// request rather than the raw body means whitespace/field-order variants
+// and parallelism-only differences share both layers; the rendered bytes
+// are identical either way.
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request, name string, sess *session.Session) response {
 	body, err := s.readBody(w, r)
 	if err != nil {
 		return errResponse(err)
 	}
-	res, shared := s.answers.do(name+"\x00"+string(body), func() flightResult {
-		resp := answerResponse(sess, body)
+	var req AnswerRequest
+	if err := decodeBody(body, &req); err != nil {
+		return errResponse(err)
+	}
+	key := name + "\x00" + req.cacheKey()
+	if cached, ok := s.cache.get(key); ok {
+		return response{status: http.StatusOK, contentType: "application/json", body: cached}
+	}
+	res, shared := s.answers.do(key, func() flightResult {
+		resp := answerResponse(sess, req)
 		return flightResult{status: resp.status, body: resp.body}
 	})
 	if shared {
 		s.met.coalesced.Add(1)
 	}
+	if res.status == http.StatusOK {
+		s.cache.put(key, res.body)
+	}
 	return response{status: res.status, contentType: "application/json", body: res.body}
 }
 
-// answerResponse parses and executes one answer request.
-func answerResponse(sess *session.Session, body []byte) response {
-	var req AnswerRequest
-	if err := decodeBody(body, &req); err != nil {
-		return errResponse(err)
-	}
+// answerResponse executes one decoded answer request.
+func answerResponse(sess *session.Session, req AnswerRequest) response {
 	res, err := ExecAnswer(sess, req)
 	if err != nil {
 		return errResponse(err)

@@ -196,15 +196,16 @@ func (s *Session) AnswerObjects(query []model.ObjectID) (*queryans.Result, error
 // AnswerObjectsWith answers a query under a per-call planner configuration
 // (policy, probe cap, early stopping) while still reading the session's
 // cached accuracies and dependence table — qcfg's Accuracy and Dependence
-// fields are ignored. Building the lightweight per-call planner costs O(S);
-// the precompute stays amortized.
+// fields are ignored. The per-call planner is derived from the session's
+// precompiled one, sharing its dense state and its scratch pool, so the
+// override path stays on the zero-allocation serve shape.
 func (s *Session) AnswerObjectsWith(query []model.ObjectID, qcfg queryans.Config) (*queryans.Result, error) {
 	if qcfg.Parallelism == 0 && s.cfg.Parallelism != 0 {
 		qcfg.Parallelism = s.cfg.Parallelism
 	}
 	qcfg.Accuracy = nil
 	qcfg.Dependence = nil
-	p, err := queryans.NewPlannerDense(s.d, qcfg, s.acc, s.depTab)
+	p, err := s.planner.Derive(qcfg)
 	if err != nil {
 		return nil, err
 	}

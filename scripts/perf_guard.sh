@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Perf-regression guard: run the serve-path smoke benchmarks once and
+# compare ns/op against BENCH_baseline.json via cmd/perfguard.
+#
+#   scripts/perf_guard.sh [factor] [bench-output-file]
+#
+# factor defaults to 2.5 (the blocking CI bound; CI also runs an
+# informational pass at a tighter factor first). If bench-output-file
+# exists it is reused instead of re-running the benchmarks, so CI can
+# measure once and judge twice.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FACTOR="${1:-2.5}"
+OUT="${2:-/tmp/perfguard-bench.txt}"
+
+if [ ! -s "$OUT" ]; then
+  echo "perf_guard: running serve-path smoke benchmarks into $OUT" >&2
+  # Build the output atomically: both bench invocations must succeed before
+  # $OUT exists, so a failed/partial run can never be reused by a later
+  # (blocking) invocation as if it covered everything.
+  TMP="$(mktemp)"
+  trap 'rm -f "$TMP"' EXIT
+  go test -short -bench '^(BenchmarkPlannerAnswer|BenchmarkSessionAnswer|BenchmarkSessionFuse)$' \
+    -benchtime 2x -run '^$' . > "$TMP"
+  go test -short -bench '^(BenchmarkServerAnswer|BenchmarkServerAnswerCached)$' \
+    -benchtime 5x -run '^$' ./internal/server/ >> "$TMP"
+  mv "$TMP" "$OUT"
+  trap - EXIT
+fi
+
+go run ./cmd/perfguard -baseline BENCH_baseline.json -bench "$OUT" -factor "$FACTOR"
