@@ -324,6 +324,49 @@ func BenchmarkSessionAnswerPerCall(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionAppend measures the live-ingest path: refining a 1%
+// claim batch into a successor session via Session.Append. Compare with
+// BenchmarkSessionBuild at the same size — the delta recompute must come
+// in well under the full rebuild (the PR 6 acceptance bar is < 1/5 at 500
+// sources) while producing bit-identical serving state (pinned by the
+// session append equivalence suite).
+func BenchmarkSessionAppend(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(fmt.Sprintf("sources=%d", sz.sources), func(b *testing.B) {
+			b.ReportAllocs()
+			if testing.Short() && !sz.short {
+				b.Skip("large scale skipped in short mode")
+			}
+			d := benchSnapshotWorld(b, sz.sources, sz.objects)
+			s, err := sourcecurrents.NewSession(d, sourcecurrents.DefaultSessionConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := d.Len() / 100
+			if n < 1 {
+				n = 1
+			}
+			// A 1% batch in live-feed shape: a handful of sources re-assert
+			// their claims (existing objects and values), rather than a thin
+			// slice across every source — feeds update source-by-source.
+			var batch []sourcecurrents.Claim
+			for _, src := range d.Sources() {
+				batch = append(batch, d.ClaimsBySource(src)...)
+				if len(batch) >= n {
+					break
+				}
+			}
+			batch = batch[:n]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSnapshotLoad* measure the server cold-start path: decoding a
 // session snapshot (dataset + cached precompute) versus BenchmarkSessionBuild,
 // which pays the full truth+dependence discovery. The ratio is the

@@ -28,7 +28,12 @@
 //	    optional net/http/pprof endpoints, graceful shutdown on SIGINT
 //	currents loadgen -addr URL -dataset NAME -query "e,a" [-concurrency N] [-duration 5s]
 //	    hammer a running server, report throughput + latency percentiles
-//	    and the server-observed answer-cache hit ratio (from /metrics)
+//	    and the server-observed answer-cache hit ratio (from /metrics);
+//	    with -append-file claims.csv it runs mixed read/append traffic and
+//	    passes only on zero failed requests during the epoch swaps
+//	currents append -addr URL -dataset NAME [-batch N] claims.csv
+//	    live ingest: POST a claims CSV to a served dataset; the server
+//	    refines the batch into a successor session and epoch-swaps it in
 //
 // Every analysis subcommand also accepts -cpuprofile FILE and -memprofile
 // FILE to write pprof evidence for performance work.
@@ -74,6 +79,8 @@ func main() {
 		err = runServer(args)
 	case "loadgen":
 		err = runLoadgen(args)
+	case "append":
+		err = runAppend(args)
 	default:
 		usage()
 	}
@@ -84,7 +91,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: currents <detect|truth|temporal|dissim|recommend|serve|snapshot|server|loadgen> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: currents <detect|truth|temporal|dissim|recommend|serve|snapshot|server|loadgen|append> [flags]")
 	os.Exit(2)
 }
 

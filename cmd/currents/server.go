@@ -89,12 +89,17 @@ func runServer(args []string) error {
 	maxBytes := fs.Int64("max-request-bytes", server.DefaultMaxRequestBytes, "request body cap")
 	cacheSize := fs.Int("cache-size", 1024, "answer cache capacity in entries (0 disables)")
 	cacheTTL := fs.Duration("cache-ttl", 0, "answer cache entry lifetime (0 = until evicted)")
+	persist := fs.String("persist-appends", "", "directory for append-log segments (\"\" = memory-only appends; \"load\" = the -load directory)")
+	compactEvery := fs.Int("compact-every", server.DefaultCompactEvery, "compact a dataset's log after this many segments (<0 disables)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	prof := profiling.Register(fs)
 	_ = fs.Parse(args)
 	if *load == "" || fs.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: currents server -addr :8080 -load DIR [-parallelism N] [-cache-size N] [-cache-ttl D] [-pprof]")
+		fmt.Fprintln(os.Stderr, "usage: currents server -addr :8080 -load DIR [-parallelism N] [-cache-size N] [-cache-ttl D] [-persist-appends DIR] [-compact-every N] [-pprof]")
 		os.Exit(2)
+	}
+	if *persist == "load" {
+		*persist = *load
 	}
 	if err := prof.Start(); err != nil {
 		return err
@@ -117,6 +122,11 @@ func runServer(args []string) error {
 		MaxRequestBytes: *maxBytes,
 		AnswerCacheSize: *cacheSize,
 		AnswerCacheTTL:  *cacheTTL,
+		PersistDir:      *persist,
+		CompactEvery:    *compactEvery,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "server: "+format+"\n", a...)
+		},
 	})
 	if *pprofOn {
 		// Profiling endpoints are opt-in: they expose internals and cost
@@ -163,7 +173,12 @@ func runServer(args []string) error {
 
 // runLoadgen hammers a running server with identical-shaped requests from
 // -concurrency workers for -duration and reports throughput plus latency
-// percentiles — the measurement half of the serving story.
+// percentiles — the measurement half of the serving story. With
+// -append-file set it runs in mixed read/append mode: an appender
+// goroutine posts claim batches at -append-interval while the readers keep
+// hammering, and the report breaks out the p99 of reads that overlapped a
+// swap. Mixed mode passes only with zero failed requests (reads and
+// appends) — the zero-downtime invariant, measured from outside.
 func runLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
@@ -172,10 +187,31 @@ func runLoadgen(args []string) error {
 	query := fs.String("query", "", "query list entity,attribute;... (required for -op answer)")
 	concurrency := fs.Int("concurrency", 8, "concurrent clients")
 	duration := fs.Duration("duration", 5*time.Second, "run length")
+	appendFile := fs.String("append-file", "", "claims CSV to append live during the run (enables mixed mode)")
+	appendInterval := fs.Duration("append-interval", 500*time.Millisecond, "delay between append batches in mixed mode")
+	appendBatch := fs.Int("append-batch", 10, "claims per append batch in mixed mode")
 	_ = fs.Parse(args)
 	if *dsName == "" || fs.NArg() != 0 || *concurrency < 1 {
-		fmt.Fprintln(os.Stderr, "usage: currents loadgen -addr URL -dataset NAME [-op answer] -query \"e,a;...\" [-concurrency N] [-duration 5s]")
+		fmt.Fprintln(os.Stderr, "usage: currents loadgen -addr URL -dataset NAME [-op answer] -query \"e,a;...\" [-concurrency N] [-duration 5s] [-append-file claims.csv [-append-interval D] [-append-batch N]]")
 		os.Exit(2)
+	}
+	var appendClaims []sourcecurrents.Claim
+	if *appendFile != "" {
+		f, err := os.Open(*appendFile)
+		if err != nil {
+			return err
+		}
+		appendClaims, err = sourcecurrents.ReadClaimsCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if len(appendClaims) == 0 {
+			return fmt.Errorf("loadgen: %s has no claims", *appendFile)
+		}
+		if *appendBatch < 1 {
+			return fmt.Errorf("loadgen: -append-batch must be >= 1")
+		}
 	}
 
 	var method, path, body string
@@ -221,8 +257,12 @@ func runLoadgen(args []string) error {
 	// throughput the cache absorbed).
 	hits0, misses0, haveCache := scrapeCacheCounters(client, base)
 
+	type sample struct {
+		start time.Time
+		lat   time.Duration
+	}
 	type workerStats struct {
-		lat    []time.Duration
+		lat    []sample
 		errors int
 	}
 	stats := make([]workerStats, *concurrency)
@@ -254,9 +294,46 @@ func runLoadgen(args []string) error {
 					st.errors++
 					continue
 				}
-				st.lat = append(st.lat, time.Since(t0))
+				st.lat = append(st.lat, sample{start: t0, lat: time.Since(t0)})
 			}
 		}(w)
+	}
+
+	// Mixed mode: one appender posts claim batches (cycling through the
+	// file) at the configured interval while the readers hammer; every
+	// append's [start, end] window is recorded so swap-overlapping reads
+	// can be reported separately.
+	type swapWindow struct{ start, end time.Time }
+	var swaps []swapWindow
+	var appendErrs, appendsSent int
+	var lastEpoch uint64
+	if len(appendClaims) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			off := 0
+			for time.Now().Before(deadline) {
+				end := off + *appendBatch
+				if end > len(appendClaims) {
+					end = len(appendClaims)
+				}
+				t0 := time.Now()
+				ar, err := postAppend(client, base, *dsName, appendClaims[off:end])
+				if err != nil {
+					appendErrs++
+					fmt.Fprintln(os.Stderr, "loadgen:", err)
+				} else {
+					swaps = append(swaps, swapWindow{start: t0, end: time.Now()})
+					appendsSent++
+					lastEpoch = ar.Epoch
+				}
+				off = end
+				if off >= len(appendClaims) {
+					off = 0
+				}
+				time.Sleep(*appendInterval)
+			}
+		}()
 	}
 	started := time.Now()
 	wg.Wait()
@@ -265,7 +342,7 @@ func runLoadgen(args []string) error {
 		elapsed = *duration
 	}
 
-	var all []time.Duration
+	var all []sample
 	var nErr int
 	for i := range stats {
 		all = append(all, stats[i].lat...)
@@ -274,17 +351,17 @@ func runLoadgen(args []string) error {
 	if len(all) == 0 {
 		return fmt.Errorf("loadgen: no successful requests (%d errors) against %s", nErr, url)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) time.Duration {
-		idx := int(p * float64(len(all)-1))
-		return all[idx]
+	sort.Slice(all, func(i, j int) bool { return all[i].lat < all[j].lat })
+	pct := func(s []sample, p float64) time.Duration {
+		idx := int(p * float64(len(s)-1))
+		return s[idx].lat
 	}
 	fmt.Printf("loadgen %s %s: %d requests in %v (%.0f req/s), %d errors, %d clients\n",
 		*op, url, len(all), elapsed.Round(time.Millisecond),
 		float64(len(all))/elapsed.Seconds(), nErr, *concurrency)
 	fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
-		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+		pct(all, 0.50).Round(time.Microsecond), pct(all, 0.90).Round(time.Microsecond),
+		pct(all, 0.99).Round(time.Microsecond), all[len(all)-1].lat.Round(time.Microsecond))
 	if *op == "answer" {
 		if hits1, misses1, ok := scrapeCacheCounters(client, base); ok && haveCache {
 			hits, lookups := hits1-hits0, (hits1-hits0)+(misses1-misses0)
@@ -297,6 +374,36 @@ func runLoadgen(args []string) error {
 		} else {
 			fmt.Println("server answer cache: /metrics counters unavailable")
 		}
+	}
+	if len(appendClaims) > 0 {
+		// Reads whose lifetime overlapped an append's are the requests a
+		// non-atomic swap would have broken; their p99 shows what an epoch
+		// swap costs a concurrent reader.
+		var during []sample
+		for _, s := range all {
+			rEnd := s.start.Add(s.lat)
+			for _, w := range swaps {
+				if !s.start.After(w.end) && !rEnd.Before(w.start) {
+					during = append(during, s)
+					break
+				}
+			}
+		}
+		sort.Slice(during, func(i, j int) bool { return during[i].lat < during[j].lat })
+		fmt.Printf("mixed mode: %d appends (last epoch %d), %d append errors\n",
+			appendsSent, lastEpoch, appendErrs)
+		if len(during) > 0 {
+			fmt.Printf("reads overlapping a swap: %d, p50 %v  p99 %v  max %v\n",
+				len(during), pct(during, 0.50).Round(time.Microsecond),
+				pct(during, 0.99).Round(time.Microsecond),
+				during[len(during)-1].lat.Round(time.Microsecond))
+		} else {
+			fmt.Println("reads overlapping a swap: none observed")
+		}
+		if nErr > 0 || appendErrs > 0 {
+			return fmt.Errorf("loadgen: mixed mode FAILED: %d read errors, %d append errors (zero required)", nErr, appendErrs)
+		}
+		fmt.Println("mixed mode PASS: zero failed requests during swaps")
 	}
 	return nil
 }

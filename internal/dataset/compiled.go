@@ -80,6 +80,9 @@ func (d *Dataset) Compiled() *Compiled {
 }
 
 func compile(d *Dataset) *Compiled {
+	if c := compileShared(d); c != nil {
+		return c
+	}
 	c := &Compiled{
 		Sources: d.sources,
 		Objects: d.objects,
@@ -108,6 +111,44 @@ func compile(d *Dataset) *Compiled {
 		c.valIdx[v] = int32(i)
 	}
 
+	c.buildGroups(d)
+	c.buildSourceClaims(d)
+	c.buildSpans(d)
+	return c
+}
+
+// compileShared builds the compiled view of an appended dataset by reusing
+// the predecessor's interning tables when the batch introduced no new
+// source, object, or value strings — the steady-state append. Only the
+// sorted tables and index maps are shared (they are read-only and identical
+// by construction); every CSR layout is rebuilt against the successor. It
+// returns nil when the fast path does not apply.
+func compileShared(d *Dataset) *Compiled {
+	base := d.base
+	if base == nil {
+		return nil
+	}
+	// The replay and live-append paths always compile the predecessor before
+	// the successor, so this is a cached fetch, not a recursive build.
+	bc := base.Compiled()
+	// Append only ever adds ids, so equal table lengths mean identical
+	// (shared) tables.
+	if len(d.sources) != len(bc.Sources) || len(d.objects) != len(bc.Objects) {
+		return nil
+	}
+	for _, cl := range d.Batch() {
+		if _, ok := bc.valIdx[cl.Value]; !ok {
+			return nil
+		}
+	}
+	c := &Compiled{
+		Sources: bc.Sources,
+		Objects: bc.Objects,
+		Values:  bc.Values,
+		srcIdx:  bc.srcIdx,
+		objIdx:  bc.objIdx,
+		valIdx:  bc.valIdx,
+	}
 	c.buildGroups(d)
 	c.buildSourceClaims(d)
 	c.buildSpans(d)
@@ -284,6 +325,11 @@ func (c *Compiled) ClaimOf(si, oi int32) int32 {
 	}
 	return -1
 }
+
+// GroupOf returns the global group index of object oi's candidate group
+// holding value vi, by binary search over the object's value-sorted groups.
+// The result is meaningful only when some source asserts vi for oi.
+func (c *Compiled) GroupOf(oi, vi int32) int32 { return c.findGroup(oi, vi) }
 
 // PopularityOf returns how many sources ever assert the timestamped
 // (object, value) packed key, by binary search.

@@ -34,6 +34,13 @@ type Dataset struct {
 	objects []model.ObjectID
 	frozen  bool
 
+	// Append-only log (see append.go): base is the predecessor dataset this
+	// one was appended onto (nil for a flat dataset), baseLen the number of
+	// claims belonging to it, and epoch the number of appended batches.
+	base    *Dataset
+	baseLen int
+	epoch   int
+
 	// compiled is the lazily built columnar view (see compiled.go).
 	compileOnce sync.Once
 	compiled    *Compiled
@@ -123,12 +130,20 @@ func (d *Dataset) Frozen() bool { return d.frozen }
 func (d *Dataset) Len() int { return len(d.claims) }
 
 // Sources returns source ids in sorted order. Valid after Freeze.
+//
+// The slice aliases internal storage and may additionally be shared with
+// successor datasets built by Append; callers must treat it as read-only
+// (copy before sorting, filtering in place, or appending).
 func (d *Dataset) Sources() []model.SourceID { return d.sources }
 
-// Objects returns object ids in sorted order. Valid after Freeze.
+// Objects returns object ids in sorted order. Valid after Freeze. Shared
+// read-only storage — the same ownership rule as Sources.
 func (d *Dataset) Objects() []model.ObjectID { return d.objects }
 
-// Claims returns all claims (shared slice; callers must not mutate).
+// Claims returns all claims in ingestion order. The slice aliases internal
+// storage shared across the dataset's log chain; callers must not mutate
+// it, append to it, or reslice it beyond its length — Append derives
+// successor epochs from this storage.
 func (d *Dataset) Claims() []model.Claim { return d.claims }
 
 // ClaimsBySource returns s's claims in time order. Valid after Freeze.
@@ -268,9 +283,23 @@ func dedupeSources(srcs []model.SourceID) []model.SourceID {
 }
 
 // SnapshotAt projects the temporal dataset to the snapshot each source
-// would show at time t: for every (source, object), the latest claim with
-// Time <= t. Claims without timestamps are always visible. The projection
-// is returned as a new frozen Dataset whose claims carry HasTime=false.
+// would show at time t. For every (source, object) the visible claims are
+// the timestamped ones with Time <= t plus every timeless claim, and
+// precedence among them is pinned as:
+//
+//  1. any visible timestamped claim supersedes a timeless claim — a
+//     timeless claim is the source's fallback assertion, shown only when
+//     the source has no dated statement at or before t;
+//  2. among timestamped claims the latest wins (ingestion order breaks
+//     exact ties);
+//  3. among timeless claims the latest ingested wins.
+//
+// The rule is applied symmetrically in both directions, so the outcome does
+// not depend on the order claims are considered in (timeless claims sort at
+// Time 0 and therefore iterate *after* negatively-timestamped claims — the
+// ordering that made the old overwrite condition look asymmetric). The
+// projection is returned as a new frozen Dataset whose claims carry
+// HasTime=false.
 func (d *Dataset) SnapshotAt(t model.Time) *Dataset {
 	out := New()
 	for _, s := range d.sources {
@@ -281,7 +310,18 @@ func (d *Dataset) SnapshotAt(t model.Time) *Dataset {
 				continue
 			}
 			prev, ok := latest[c.Object]
-			if !ok || !prev.HasTime || (c.HasTime && c.Time >= prev.Time) {
+			supersedes := false
+			switch {
+			case !ok:
+				supersedes = true
+			case c.HasTime && prev.HasTime:
+				supersedes = c.Time >= prev.Time // later claim wins; ties to ingestion order
+			case c.HasTime != prev.HasTime:
+				supersedes = c.HasTime // timestamped beats timeless, whichever came first
+			default:
+				supersedes = true // both timeless: later ingested wins
+			}
+			if supersedes {
 				latest[c.Object] = c
 			}
 		}

@@ -27,8 +27,12 @@ import (
 // SnapshotMagic identifies the dataset snapshot format.
 const SnapshotMagic = "SCDSDATA"
 
-// SnapshotVersion is the current dataset snapshot version.
-const SnapshotVersion = 1
+// SnapshotVersion is the current dataset snapshot version. Version 2
+// appends the append-log epoch boundaries (LogBounds) after the claim
+// records, so a log-carrying dataset round-trips with its full replay
+// semantics. Flat datasets are still written as version 1 — byte-identical
+// to pre-log snapshots — and version-1 snapshots load unchanged.
+const SnapshotVersion = 2
 
 // WriteSnapshot encodes the frozen dataset to w in the binary snapshot
 // format.
@@ -83,6 +87,17 @@ func (d *Dataset) WriteSnapshot(w io.Writer) error {
 			enc.F64(c.Prob)
 		}
 	}
+
+	// Log-carrying datasets append their epoch boundaries and are framed as
+	// version 2; flat datasets keep the version-1 byte layout.
+	bounds := d.LogBounds()
+	if len(bounds) == 0 {
+		return enc.Frame(w, SnapshotMagic, 1)
+	}
+	enc.U32(uint32(len(bounds)))
+	for _, b := range bounds {
+		enc.U32(uint32(b))
+	}
 	return enc.Frame(w, SnapshotMagic, SnapshotVersion)
 }
 
@@ -93,10 +108,12 @@ const claimRecordBytes = 4 + 4 + 4 + 4 + 1 + 8 + 8
 
 // ReadSnapshot decodes a dataset snapshot written by WriteSnapshot and
 // returns the rebuilt frozen dataset. Claims are restored in their original
-// ingestion order, so the result is indistinguishable from the dataset the
-// snapshot was taken of.
+// ingestion order, and a version-2 snapshot's append log is replayed
+// (FromClaims over the base prefix, then Append per recorded batch), so the
+// result is indistinguishable from the dataset the snapshot was taken of —
+// including its epoch and replay semantics.
 func ReadSnapshot(r io.Reader) (*Dataset, error) {
-	dec, _, err := snapio.OpenFrame(r, SnapshotMagic, SnapshotVersion)
+	dec, version, err := snapio.OpenFrame(r, SnapshotMagic, SnapshotVersion)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: snapshot: %w", err)
 	}
@@ -145,6 +162,23 @@ func ReadSnapshot(r io.Reader) (*Dataset, error) {
 			break
 		}
 	}
+	var bounds []int
+	if version >= 2 {
+		nBounds := dec.Count(4)
+		bounds = make([]int, 0, nBounds)
+		prev := 0
+		for k := 0; k < nBounds; k++ {
+			b := int(dec.U32())
+			if dec.Err() != nil {
+				break
+			}
+			if b <= prev || b >= nClaims {
+				return nil, fmt.Errorf("dataset: snapshot: %w: log bound %d out of order", snapio.ErrCorrupt, b)
+			}
+			bounds = append(bounds, b)
+			prev = b
+		}
+	}
 	if err := dec.Finish(); err != nil {
 		return nil, fmt.Errorf("dataset: snapshot: %w", err)
 	}
@@ -153,9 +187,23 @@ func ReadSnapshot(r io.Reader) (*Dataset, error) {
 			return nil, fmt.Errorf("dataset: snapshot: %w: claim position %d missing", snapio.ErrCorrupt, pos)
 		}
 	}
-	d, err := FromClaims(claims)
+	end := len(claims)
+	if len(bounds) > 0 {
+		end = bounds[0]
+	}
+	d, err := FromClaims(claims[:end:end])
 	if err != nil {
 		return nil, fmt.Errorf("dataset: snapshot: %w", err)
+	}
+	for i := range bounds {
+		next := len(claims)
+		if i+1 < len(bounds) {
+			next = bounds[i+1]
+		}
+		d, err = d.Append(claims[bounds[i]:next])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: snapshot: %w", err)
+		}
 	}
 	return d, nil
 }

@@ -80,6 +80,28 @@ type Config struct {
 	// Detect; the embedded Truth config's own Parallelism is not consulted
 	// here.
 	Parallelism int
+	// RefineRounds is the number of bounded refinement passes an appended
+	// batch gets when a log-carrying dataset is replayed (see Refine).
+	// Values <= 0 select DefaultRefineRounds. It does not affect flat
+	// datasets.
+	RefineRounds int
+}
+
+// DefaultRefineRounds is the per-batch refinement pass count used when
+// Config.RefineRounds is unset. Two passes let the appended evidence
+// propagate truth -> accuracy -> dependence and settle once more, which the
+// equivalence suite shows is where the marginal accuracy of more passes
+// collapses to the Tol scale.
+const DefaultRefineRounds = 2
+
+// EffectiveRefineRounds returns the per-batch refinement pass count with the
+// default applied — the value that actually shapes a replayed result (and
+// that session snapshots fingerprint).
+func (c Config) EffectiveRefineRounds() int {
+	if c.RefineRounds <= 0 {
+		return DefaultRefineRounds
+	}
+	return c.RefineRounds
 }
 
 // Engine returns the execution-engine configuration for this detector.
@@ -366,12 +388,26 @@ func scorePair(ov dataset.Overlap, kt, kf, kd float64,
 // executes on the dataset's compiled columnar index; the result is
 // bit-identical to the map-based reference path (detectMaps), which the
 // golden equivalence tests enforce.
+//
+// A dataset carrying an append log (dataset.Append) is solved by *replay*:
+// a full solve of the flat base followed by one bounded refinement pass per
+// appended batch (see Refine). Replay is the semantic definition of a
+// log-carrying dataset's result — a session advanced live batch-by-batch
+// and a session rebuilt from scratch over the same successor dataset run
+// the identical pass sequence and reach bit-identical state.
 func Detect(d *dataset.Dataset, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if !d.Frozen() {
 		return nil, fmt.Errorf("depen: dataset must be frozen")
+	}
+	if base := d.Base(); base != nil {
+		prev, err := Detect(base, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return refine(d, prev, cfg), nil
 	}
 	// Compiled is non-nil for every frozen dataset; the fallback is
 	// defensive only.
@@ -495,14 +531,41 @@ func setDir(m map[model.SourceID]map[model.SourceID]float64, from, to model.Sour
 
 func sortDeps(deps []Dependence) {
 	sort.Slice(deps, func(i, j int) bool {
-		if deps[i].Prob != deps[j].Prob {
-			return deps[i].Prob > deps[j].Prob
-		}
-		if deps[i].Pair.A != deps[j].Pair.A {
-			return deps[i].Pair.A < deps[j].Pair.A
-		}
-		return deps[i].Pair.B < deps[j].Pair.B
+		return depLess(&deps[i], &deps[j])
 	})
+}
+
+// depLess is the AllPairs ordering: confidence first, pair identity as the
+// deterministic tie-break.
+func depLess(x, y *Dependence) bool {
+	if x.Prob != y.Prob {
+		return x.Prob > y.Prob
+	}
+	if x.Pair.A != y.Pair.A {
+		return x.Pair.A < y.Pair.A
+	}
+	return x.Pair.B < y.Pair.B
+}
+
+// finishSortedPairs is finishPairs for a slice already in sortDeps order —
+// refine merges two sorted runs and must not pay a full re-sort.
+func finishSortedPairs(res *Result, pairs []Dependence, threshold float64) {
+	res.AllPairs = pairs
+	var n int
+	for _, p := range res.AllPairs {
+		if p.Prob >= threshold {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	res.Dependences = make([]Dependence, 0, n)
+	for _, p := range res.AllPairs {
+		if p.Prob >= threshold {
+			res.Dependences = append(res.Dependences, p)
+		}
+	}
 }
 
 // discountTable holds the read-only inputs of the per-round vote

@@ -1,0 +1,301 @@
+// Bounded delta recompute for appended batches.
+//
+// Refine advances a predecessor Detect result across one appended batch
+// without re-running the full ACCUCOPY loop. The batch marks a set of
+// sources and objects dirty; each refinement round then
+//
+//   - rescores only the dirty objects' posteriors (seeded from the
+//     predecessor's, so untouched objects keep their converged rows),
+//   - re-estimates every source's accuracy online over the full posterior
+//     vector (cheap, and it keeps the global accuracy/vote-weight coupling
+//     exact), and
+//   - rescores only the dirty pairs — pairs with a dirty member and pairs
+//     new to the candidate set.
+//
+// Non-dirty pairs keep their predecessor verdicts: the accuracy and
+// posterior drift a batch induces elsewhere — including on objects the pair
+// shares — is not re-applied to them. That is the documented approximation
+// bounding the cost of an append (dirtying every pair that merely shares an
+// object with the batch degenerates to a full rescore on dense datasets).
+// Their Shared/Same counts are provably current, because growing a pair's
+// overlap or agreement requires a claim by one of its members, which would
+// have dirtied the pair.
+//
+// Refine is a pure function of (successor dataset, predecessor result,
+// config). Both the live path (Session.Append refining its cached result)
+// and the rebuild path (Detect replaying the log from the flat base) call
+// it with identical inputs, which is what makes incremental and
+// from-scratch sessions bit-identical by construction.
+package depen
+
+import (
+	"fmt"
+	"math"
+
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/engine"
+	"sourcecurrents/internal/model"
+	"sourcecurrents/internal/truth"
+)
+
+// Refine advances prev — the Detect result of d.Base() — across d's most
+// recently appended batch, running cfg.RefineRounds bounded passes. The
+// result is exactly what Detect(d, cfg) produces for the final link of d's
+// log chain.
+func Refine(d *dataset.Dataset, prev *Result, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Frozen() {
+		return nil, fmt.Errorf("depen: dataset must be frozen")
+	}
+	if d.Base() == nil {
+		return nil, fmt.Errorf("depen: Refine requires an appended dataset (use Detect for flat datasets)")
+	}
+	if prev == nil || prev.Truth == nil {
+		return nil, fmt.Errorf("depen: Refine requires the predecessor's result")
+	}
+	return refine(d, prev, cfg), nil
+}
+
+// refine implements Refine for validated inputs.
+//
+// The candidate set over the successor is assembled incrementally: overlap
+// and agreement between two sources can only grow through a claim by one of
+// them, so a pair either has a dirty member (merge-joined fresh over the
+// successor's claim lists) or is carried over from the predecessor verbatim
+// — rebuilding the full pair×overlap structure per batch would cost as much
+// as Detect itself.
+func refine(d *dataset.Dataset, prev *Result, cfg Config) *Result {
+	c := d.Compiled()
+	solver := truth.NewDenseSolver(c, cfg.Truth)
+	nS := len(c.Sources)
+	nO := len(c.Objects)
+
+	// Seed accuracies and posteriors from the predecessor. Sources and value
+	// groups it never saw start at the prior (InitialAccuracy / zero rows);
+	// every such group belongs to a dirty object and is rescored in round 1
+	// before anything reads it.
+	acc := make([]float64, nS)
+	for i, s := range c.Sources {
+		if a, ok := prev.Truth.Accuracy[s]; ok {
+			acc[i] = a
+		} else {
+			acc[i] = cfg.Truth.InitialAccuracy
+		}
+	}
+	probs := make([]float64, len(c.GroupValue))
+	solver.FillProbs(probs, prev.Truth.Probs)
+
+	// Dirty sets, fixed for the whole refinement: the batch's sources and
+	// objects, and the pairs whose evidence they can have moved.
+	dirtySrc := make([]bool, nS)
+	dirtyObj := make([]bool, nO)
+	for _, cl := range d.Batch() {
+		if si, ok := c.SourceIndex(cl.Source); ok {
+			dirtySrc[si] = true
+		}
+		if oi, ok := c.ObjectIndex(cl.Object); ok {
+			dirtyObj[oi] = true
+		}
+	}
+	var dirtyObjs []int32
+	for oi := 0; oi < nO; oi++ {
+		if dirtyObj[oi] {
+			dirtyObjs = append(dirtyObjs, int32(oi))
+		}
+	}
+
+	// Candidate pairs with a dirty member, merge-joined over the successor.
+	cands, ov := buildDirtyCandidates(c, cfg.MinShared, dirtySrc)
+
+	// Partition the predecessor's pairs: a pair with a dirty member is
+	// superseded by its freshly-joined candidate (seeded below); every other
+	// pair is kept verbatim — verdict, Shared and Same all still exact.
+	kept := make([]int32, 0, len(prev.AllPairs))
+	keptA := make([]int32, 0, len(prev.AllPairs))
+	keptB := make([]int32, 0, len(prev.AllPairs))
+	seeds := make(map[model.SourcePair]*Dependence)
+	for i := range prev.AllPairs {
+		pd := &prev.AllPairs[i]
+		ai, aok := c.SourceIndex(pd.Pair.A)
+		bi, bok := c.SourceIndex(pd.Pair.B)
+		if !aok || !bok {
+			continue // unreachable: the log is append-only
+		}
+		if dirtySrc[ai] || dirtySrc[bi] {
+			seeds[pd.Pair] = pd
+			continue
+		}
+		kept = append(kept, int32(i))
+		keptA = append(keptA, int32(ai))
+		keptB = append(keptB, int32(bi))
+	}
+	deps := make([]Dependence, len(cands))
+	for pi := range cands {
+		pair := model.SourcePair{A: c.Sources[cands[pi].a], B: c.Sources[cands[pi].b]}
+		if seed := seeds[pair]; seed != nil {
+			deps[pi] = *seed
+		}
+	}
+
+	// The discount table is kept-pairs (constant all rounds) plus the dirty
+	// pairs' current verdicts, exactly the all-pairs table the full loop
+	// rebuilds each round.
+	baseTab := make([]float64, nS*nS)
+	for k, i := range kept {
+		t := prev.AllPairs[i].ProbAB + prev.AllPairs[i].ProbBA
+		baseTab[keptA[k]*int32(nS)+keptB[k]] = t
+		baseTab[keptB[k]*int32(nS)+keptA[k]] = t
+	}
+	depTab := make([]float64, nS*nS)
+	fillDepTab(depTab, baseTab, nS, cands, deps)
+	haveDep := len(cands) > 0 || len(kept) > 0
+
+	weights := make([]float64, nS)
+	next := make([]float64, nS)
+	maxGroupSrc := c.MaxSourcesPerGroup()
+	newScratch := func() *depenScratch {
+		return &depenScratch{
+			ds:   solver.NewScratch(),
+			rank: make([]int32, maxGroupSrc),
+			fac:  make([]float64, maxGroupSrc),
+		}
+	}
+	logPrior := [3]float64{
+		math.Log(1 - cfg.Alpha), math.Log(cfg.Alpha / 2), math.Log(cfg.Alpha / 2),
+	}
+	eng := cfg.Engine()
+	res := &Result{}
+
+	for round := 1; round <= cfg.EffectiveRefineRounds(); round++ {
+		// Truth step over the dirty objects only.
+		solver.FillWeights(acc, weights)
+		engine.ForNScratch(eng, len(dirtyObjs), newScratch, func(k int, sc *depenScratch) {
+			oi := int(dirtyObjs[k])
+			row := solver.Row(probs, oi)
+			if kr := solver.KnownRow(oi); kr != nil {
+				copy(row, kr)
+				return
+			}
+			scores := scoreObjectDiscounted(c, oi, weights, acc, depTab, haveDep, cfg.CopyRate, sc)
+			solver.FinishObject(oi, scores, row, sc.ds)
+		})
+
+		// Accuracy step over every source: untouched sources recompute the
+		// same sums from unchanged rows, so this keeps the global coupling
+		// without costing precision.
+		solver.UpdateAccuracy(eng, probs, next)
+
+		// Dependence step over the dirty pairs only.
+		engine.ForNScratch(eng, len(cands), newScratch, func(pi int, sc *depenScratch) {
+			deps[pi] = scorePairDense(c, solver, cands[pi], ov, probs, next, cfg, logPrior, sc)
+		})
+		fillDepTab(depTab, baseTab, nS, cands, deps)
+		res.Rounds = round
+
+		if truth.MaxAccuracyDeltaVec(acc, next) < cfg.Tol {
+			copy(acc, next)
+			res.Converged = true
+			break
+		}
+		copy(acc, next)
+	}
+
+	res.Truth = &truth.Result{
+		Probs:     solver.ProbsMap(probs),
+		Accuracy:  solver.AccuracyMap(acc),
+		Rounds:    res.Rounds,
+		Converged: res.Converged,
+	}
+	res.Truth.PickChosen()
+	res.dir = newDirTableFor(c.Sources)
+	for k, i := range kept {
+		res.dir.set(keptA[k], keptB[k], prev.AllPairs[i].ProbAB, prev.AllPairs[i].ProbBA)
+	}
+	for pi := range deps {
+		res.dir.set(cands[pi].a, cands[pi].b, deps[pi].ProbAB, deps[pi].ProbBA)
+	}
+
+	// AllPairs: the kept subsequence is already in finishPairs order (it is
+	// an order-preserving filter of the predecessor's sorted AllPairs), so
+	// sorting only the rescored pairs and merging avoids the full-set sort.
+	sortDeps(deps)
+	all := make([]Dependence, 0, len(kept)+len(deps))
+	ki, di := 0, 0
+	for ki < len(kept) && di < len(deps) {
+		if depLess(&prev.AllPairs[kept[ki]], &deps[di]) {
+			all = append(all, prev.AllPairs[kept[ki]])
+			ki++
+		} else {
+			all = append(all, deps[di])
+			di++
+		}
+	}
+	for ; ki < len(kept); ki++ {
+		all = append(all, prev.AllPairs[kept[ki]])
+	}
+	all = append(all, deps[di:]...)
+	finishSortedPairs(res, all, cfg.DepThreshold)
+	return res
+}
+
+// buildDirtyCandidates merge-joins the claim lists of every pair with at
+// least one dirty member, keeping pairs with at least minShared shared
+// objects — the subset of buildCandidates a batch can have changed, in the
+// same (i asc, j asc) order.
+func buildDirtyCandidates(c *dataset.Compiled, minShared int, dirtySrc []bool) ([]pairCand, overlaps) {
+	var cands []pairCand
+	var ov overlaps
+	nS := len(c.Sources)
+	for i := 0; i < nS; i++ {
+		ai, ae := c.SrcStart[i], c.SrcStart[i+1]
+		for j := i + 1; j < nS; j++ {
+			if !dirtySrc[i] && !dirtySrc[j] {
+				continue
+			}
+			bi, be := c.SrcStart[j], c.SrcStart[j+1]
+			off := int32(len(ov.obj))
+			var same int32
+			p, q := ai, bi
+			for p < ae && q < be {
+				switch {
+				case c.SrcObj[p] < c.SrcObj[q]:
+					p++
+				case c.SrcObj[p] > c.SrcObj[q]:
+					q++
+				default:
+					ov.obj = append(ov.obj, c.SrcObj[p])
+					ov.ag = append(ov.ag, c.SrcGroup[p])
+					ov.bg = append(ov.bg, c.SrcGroup[q])
+					if c.SrcGroup[p] == c.SrcGroup[q] {
+						same++
+					}
+					p++
+					q++
+				}
+			}
+			n := int32(len(ov.obj)) - off
+			if int(n) < minShared {
+				ov.obj = ov.obj[:off]
+				ov.ag = ov.ag[:off]
+				ov.bg = ov.bg[:off]
+				continue
+			}
+			cands = append(cands, pairCand{a: int32(i), b: int32(j), off: off, n: n, same: same})
+		}
+	}
+	return cands, ov
+}
+
+// fillDepTab overlays the dirty pairs' current totals on the constant
+// kept-pair table.
+func fillDepTab(depTab, baseTab []float64, nS int, cands []pairCand, deps []Dependence) {
+	copy(depTab, baseTab)
+	for pi := range deps {
+		a, b := int(cands[pi].a), int(cands[pi].b)
+		t := deps[pi].ProbAB + deps[pi].ProbBA
+		depTab[a*nS+b] = t
+		depTab[b*nS+a] = t
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"container/list"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,7 @@ type answerCache struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+	flushes   atomic.Int64
 
 	// now is the clock, injectable for TTL tests.
 	now func() time.Time
@@ -119,6 +121,30 @@ func (c *answerCache) put(key string, body []byte) {
 	}
 }
 
+// flushPrefix removes every entry whose key starts with prefix and counts
+// one flush. The epoch in the cache key already prevents a swapped dataset
+// from serving stale bytes; flushing on swap additionally reclaims the dead
+// epoch's entries immediately instead of waiting for LRU pressure.
+func (c *answerCache) flushPrefix(prefix string) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	var removed int
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); strings.HasPrefix(e.key, prefix) {
+			c.order.Remove(el)
+			delete(c.entries, e.key)
+			removed++
+		}
+		el = next
+	}
+	c.mu.Unlock()
+	c.flushes.Add(1)
+	return removed
+}
+
 // len returns the current entry count.
 func (c *answerCache) len() int {
 	if c == nil {
@@ -133,10 +159,11 @@ func (c *answerCache) len() int {
 // are always present — zeros when caching is disabled — so scrapers (and
 // `currents loadgen`) never have to special-case a missing metric.
 func (c *answerCache) writeMetrics(w io.Writer) {
-	var hits, misses, evictions int64
+	var hits, misses, evictions, flushes int64
 	var size int
 	if c != nil {
 		hits, misses, evictions = c.hits.Load(), c.misses.Load(), c.evictions.Load()
+		flushes = c.flushes.Load()
 		size = c.len()
 	}
 	fmt.Fprintf(w, "# HELP currents_answer_cache_hits_total Answer requests served from the response cache.\n")
@@ -148,6 +175,9 @@ func (c *answerCache) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP currents_answer_cache_evictions_total Entries evicted (capacity or TTL).\n")
 	fmt.Fprintf(w, "# TYPE currents_answer_cache_evictions_total counter\n")
 	fmt.Fprintf(w, "currents_answer_cache_evictions_total %d\n", evictions)
+	fmt.Fprintf(w, "# HELP currents_answer_cache_flushes_total Cache flushes triggered by session swaps.\n")
+	fmt.Fprintf(w, "# TYPE currents_answer_cache_flushes_total counter\n")
+	fmt.Fprintf(w, "currents_answer_cache_flushes_total %d\n", flushes)
 	fmt.Fprintf(w, "# HELP currents_answer_cache_entries Entries currently cached.\n")
 	fmt.Fprintf(w, "# TYPE currents_answer_cache_entries gauge\n")
 	fmt.Fprintf(w, "currents_answer_cache_entries %d\n", size)

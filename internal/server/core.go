@@ -178,6 +178,74 @@ func ExecRecommend(s *session.Session, req RecommendRequest) ([]recommend.Profil
 	return top, nil
 }
 
+// ClaimJSON is the transport form of one appended claim. A zero Prob means
+// "probability 1" (the categorical-source default, matching model.NewClaim);
+// Time absent means the claim is timeless.
+type ClaimJSON struct {
+	Source    string  `json:"source"`
+	Entity    string  `json:"entity"`
+	Attribute string  `json:"attribute"`
+	Value     string  `json:"value"`
+	Time      *int64  `json:"time,omitempty"`
+	Prob      float64 `json:"prob,omitempty"`
+}
+
+// AppendRequest carries one append batch for /v1/{dataset}/append.
+type AppendRequest struct {
+	Claims []ClaimJSON `json:"claims"`
+}
+
+// batch validates the request and converts it to model claims.
+func (r AppendRequest) batch() ([]model.Claim, error) {
+	if len(r.Claims) == 0 {
+		return nil, fmt.Errorf("%w: empty append batch", ErrBadRequest)
+	}
+	batch := make([]model.Claim, len(r.Claims))
+	for i, cj := range r.Claims {
+		c := model.Claim{
+			Source: model.SourceID(cj.Source),
+			Object: model.Obj(cj.Entity, cj.Attribute),
+			Value:  cj.Value,
+			Prob:   cj.Prob,
+		}
+		if c.Prob == 0 {
+			c.Prob = 1
+		}
+		if cj.Time != nil {
+			c.Time = model.Time(*cj.Time)
+			c.HasTime = true
+		}
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: claims[%d]: %v", ErrBadRequest, i, err)
+		}
+		batch[i] = c
+	}
+	return batch, nil
+}
+
+// AppendResponse is the /append payload: the dataset's new generation.
+type AppendResponse struct {
+	Dataset  string `json:"dataset"`
+	Epoch    uint64 `json:"epoch"`
+	Appended int    `json:"appended"`
+	Claims   int    `json:"claims"`
+	Sources  int    `json:"sources"`
+	Objects  int    `json:"objects"`
+}
+
+// BuildAppendResponse renders the post-append serving state.
+func BuildAppendResponse(name string, epoch uint64, appended int, s *session.Session) AppendResponse {
+	d := s.Dataset()
+	return AppendResponse{
+		Dataset:  name,
+		Epoch:    epoch,
+		Appended: appended,
+		Claims:   d.Len(),
+		Sources:  len(d.Sources()),
+		Objects:  len(d.Objects()),
+	}
+}
+
 // AccuracyEntry is one source's discovered accuracy.
 type AccuracyEntry struct {
 	Source   model.SourceID

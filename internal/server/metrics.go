@@ -15,7 +15,7 @@ import (
 // ops is the fixed label set; one opMetrics per entry. "other" counts
 // requests that matched no dataset/operation (404 traffic must still be
 // visible to an operator watching /metrics).
-var ops = []string{"accuracy", "answer", "fuse", "healthz", "link", "metrics", "other", "recommend"}
+var ops = []string{"accuracy", "answer", "append", "fuse", "healthz", "link", "metrics", "other", "recommend"}
 
 // latencyBuckets are the histogram upper bounds in seconds.
 var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
@@ -105,5 +105,26 @@ func (m *metrics) write(w io.Writer) {
 		fmt.Fprintf(w, "currents_request_duration_seconds_sum{op=%q} %g\n",
 			op, float64(om.sumNanos.Load())/1e9)
 		fmt.Fprintf(w, "currents_request_duration_seconds_count{op=%q} %d\n", op, n)
+	}
+}
+
+// writeDatasetMetrics renders the per-dataset lifecycle series (epoch
+// gauge, swap and append counters) from a registry snapshot taken at
+// scrape time.
+func writeDatasetMetrics(w io.Writer, stats []DatasetStat) {
+	fmt.Fprintf(w, "# HELP currents_dataset_epoch Serving epoch of each dataset (increments on every swap).\n")
+	fmt.Fprintf(w, "# TYPE currents_dataset_epoch gauge\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "currents_dataset_epoch{dataset=%q} %d\n", st.Name, st.Epoch)
+	}
+	fmt.Fprintf(w, "# HELP currents_dataset_swaps_total Session swaps per dataset since server start.\n")
+	fmt.Fprintf(w, "# TYPE currents_dataset_swaps_total counter\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "currents_dataset_swaps_total{dataset=%q} %d\n", st.Name, st.Swaps)
+	}
+	fmt.Fprintf(w, "# HELP currents_dataset_appends_total Accepted append batches per dataset since server start.\n")
+	fmt.Fprintf(w, "# TYPE currents_dataset_appends_total counter\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "currents_dataset_appends_total{dataset=%q} %d\n", st.Name, st.Appends)
 	}
 }

@@ -1,9 +1,14 @@
-// Registry of named serving sessions.
+// Registry of named serving sessions, epoch-versioned for live ingest.
 //
 // A server hosts many datasets at once — the multi-dataset registry the
 // ROADMAP's traffic goal needs. Sessions register under a URL-safe name and
-// are themselves immutable and concurrency-safe, so the registry only
-// guards its own map; lookups on the request path take a read lock.
+// are themselves immutable and concurrency-safe; mutation happens by
+// *swapping* a dataset's session for a successor, never in place. Every
+// entry carries an epoch counter that increments on each swap, so the
+// serving layers above (answer cache, singleflight) can key responses to
+// the exact session generation they were computed from. Lookups on the
+// request path take a read lock; the per-entry update mutex serializes
+// writers only and never blocks readers.
 package server
 
 import (
@@ -11,22 +16,38 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"sourcecurrents/internal/dataset"
 	"sourcecurrents/internal/session"
 )
 
-// Registry maps dataset names to serving sessions.
+// entry is one registered dataset: the current session, its epoch, and the
+// write-side bookkeeping. The session pointer and epoch are guarded by the
+// registry lock (a swap replaces both under the write lock, so a reader
+// holding the read lock always observes a matching pair). updateMu
+// serializes Update callers per dataset — successor construction can take
+// milliseconds and must not hold the registry lock.
+type entry struct {
+	sess     *session.Session
+	epoch    uint64
+	updateMu sync.Mutex
+	swaps    atomic.Int64
+	appends  atomic.Int64
+}
+
+// Registry maps dataset names to epoch-versioned serving sessions.
 type Registry struct {
-	mu       sync.RWMutex
-	sessions map[string]*session.Session
+	mu      sync.RWMutex
+	entries map[string]*entry
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{sessions: map[string]*session.Session{}}
+	return &Registry{entries: map[string]*entry{}}
 }
 
 // validName reports whether a dataset name is URL-safe (letters, digits,
@@ -47,6 +68,9 @@ func validName(name string) bool {
 }
 
 // Register adds a session under name, rejecting invalid or duplicate names.
+// The entry's epoch starts at the session dataset's append-log epoch, so a
+// registry epoch always equals the number of batches the served dataset
+// has absorbed since its flat origin.
 func (r *Registry) Register(name string, s *session.Session) error {
 	if !validName(name) {
 		return fmt.Errorf("server: invalid dataset name %q", name)
@@ -56,27 +80,113 @@ func (r *Registry) Register(name string, s *session.Session) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.sessions[name]; ok {
+	if _, ok := r.entries[name]; ok {
 		return fmt.Errorf("server: dataset %q already registered", name)
 	}
-	r.sessions[name] = s
+	r.entries[name] = &entry{sess: s, epoch: uint64(s.Dataset().Epoch())}
 	return nil
 }
 
 // Get returns the session registered under name.
 func (r *Registry) Get(name string) (*session.Session, bool) {
+	s, _, ok := r.GetWithEpoch(name)
+	return s, ok
+}
+
+// GetWithEpoch returns the session registered under name together with its
+// current epoch. The pair is read atomically: a session and an epoch
+// returned together always belong to the same generation.
+func (r *Registry) GetWithEpoch(name string) (*session.Session, uint64, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	s, ok := r.sessions[name]
-	return s, ok
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, 0, false
+	}
+	return e.sess, e.epoch, true
+}
+
+// Swap atomically replaces name's session with next and advances the
+// epoch, returning the new epoch. In-flight requests holding the retired
+// session finish against it undisturbed (sessions are immutable); requests
+// routed after Swap returns observe only the successor.
+func (r *Registry) Swap(name string, next *session.Session) (uint64, error) {
+	if next == nil {
+		return 0, fmt.Errorf("server: nil session for %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return 0, fmt.Errorf("server: unknown dataset %q", name)
+	}
+	e.sess = next
+	e.epoch++
+	e.swaps.Add(1)
+	return e.epoch, nil
+}
+
+// Update runs fn against name's current session under the entry's update
+// mutex and, on success, swaps in the session fn returns. fn typically
+// builds a successor via Session.Append — and may persist a log segment
+// before returning, so a failed write aborts the swap. Concurrent Update
+// calls for the same dataset are serialized; readers are never blocked.
+// Returns the swapped-in session and its new epoch.
+func (r *Registry) Update(name string, fn func(cur *session.Session) (*session.Session, error)) (*session.Session, uint64, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("server: unknown dataset %q", name)
+	}
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+	r.mu.RLock()
+	cur := e.sess
+	r.mu.RUnlock()
+	next, err := fn(cur)
+	if err != nil {
+		return nil, 0, err
+	}
+	epoch, err := r.Swap(name, next)
+	if err != nil {
+		return nil, 0, err
+	}
+	e.appends.Add(1)
+	return next, epoch, nil
+}
+
+// DatasetStat is one dataset's lifecycle counters, for /metrics.
+type DatasetStat struct {
+	Name    string
+	Epoch   uint64
+	Swaps   int64
+	Appends int64
+}
+
+// Stats returns per-dataset lifecycle counters, sorted by name.
+func (r *Registry) Stats() []DatasetStat {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]DatasetStat, 0, len(r.entries))
+	for name, e := range r.entries {
+		out = append(out, DatasetStat{
+			Name:    name,
+			Epoch:   e.epoch,
+			Swaps:   e.swaps.Load(),
+			Appends: e.appends.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Names returns the registered dataset names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.sessions))
-	for name := range r.sessions {
+	out := make([]string, 0, len(r.entries))
+	for name := range r.entries {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -87,15 +197,19 @@ func (r *Registry) Names() []string {
 func (r *Registry) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.sessions)
+	return len(r.entries)
 }
 
 // LoadDir populates a registry from a directory: every *.snap file loads as
 // a session snapshot (the fast cold-start path) and every *.csv file as raw
 // claims that build a fresh session (paying the full precompute). The
-// dataset name is the file name without extension. logf, when non-nil,
-// receives one line per dataset (used by the CLI to report cold-start
-// progress); pass nil to load silently.
+// dataset name is the file name without extension. After the base datasets
+// load, any append-log segments (`<name>.<epoch>.seg`, written by a server
+// persisting live appends) replay in epoch order through Session.Append,
+// restoring the exact post-append serving state; segments at or below the
+// loaded dataset's epoch — left behind by an interrupted compaction — are
+// skipped. logf, when non-nil, receives one line per dataset (used by the
+// CLI to report cold-start progress); pass nil to load silently.
 func LoadDir(dir string, cfg session.Config, logf func(format string, args ...any)) (*Registry, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -115,6 +229,7 @@ func LoadDir(dir string, cfg session.Config, logf func(format string, args ...an
 		}
 	}
 	reg := NewRegistry()
+	var segs []segmentFile
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
@@ -158,6 +273,14 @@ func LoadDir(dir string, cfg session.Config, logf func(format string, args ...an
 				return nil, fmt.Errorf("server: build %s: %w", path, err)
 			}
 			logf("built %q from claims %s (full precompute)", name, e.Name())
+		case ".seg":
+			if sf, ok := parseSegmentName(name); ok {
+				sf.path = path
+				segs = append(segs, sf)
+			} else {
+				logf("skipping %s: not a <name>.<epoch>.seg segment", e.Name())
+			}
+			continue
 		default:
 			continue
 		}
@@ -168,5 +291,74 @@ func LoadDir(dir string, cfg session.Config, logf func(format string, args ...an
 	if reg.Len() == 0 {
 		return nil, fmt.Errorf("server: no datasets (*.snap, *.csv) in %s", dir)
 	}
+	if err := replaySegments(reg, segs, logf); err != nil {
+		return nil, err
+	}
 	return reg, nil
+}
+
+// segmentFile is one parsed append-log segment file name.
+type segmentFile struct {
+	dataset string
+	epoch   int
+	path    string
+}
+
+// parseSegmentName splits a segment base name (extension already stripped)
+// into dataset name and epoch: "flights.000003" → ("flights", 3).
+func parseSegmentName(base string) (segmentFile, bool) {
+	i := strings.LastIndexByte(base, '.')
+	if i <= 0 || i == len(base)-1 {
+		return segmentFile{}, false
+	}
+	epoch, err := strconv.Atoi(base[i+1:])
+	if err != nil || epoch <= 0 {
+		return segmentFile{}, false
+	}
+	return segmentFile{dataset: base[:i], epoch: epoch}, true
+}
+
+// replaySegments applies persisted append batches to their datasets in
+// epoch order. A segment whose epoch is not exactly one past the dataset's
+// current epoch is either stale (≤ current: superseded by a compacted
+// snapshot — skipped) or evidence of a missing file (a gap — an error,
+// because replaying across it would change serving state).
+func replaySegments(reg *Registry, segs []segmentFile, logf func(format string, args ...any)) error {
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].dataset != segs[j].dataset {
+			return segs[i].dataset < segs[j].dataset
+		}
+		return segs[i].epoch < segs[j].epoch
+	})
+	for _, sf := range segs {
+		sess, epoch, ok := reg.GetWithEpoch(sf.dataset)
+		if !ok {
+			return fmt.Errorf("server: segment %s references unknown dataset %q", sf.path, sf.dataset)
+		}
+		if uint64(sf.epoch) <= epoch {
+			logf("skipping %s: dataset %q is already at epoch %d", filepath.Base(sf.path), sf.dataset, epoch)
+			continue
+		}
+		if uint64(sf.epoch) != epoch+1 {
+			return fmt.Errorf("server: segment %s skips epochs (dataset %q at %d)", sf.path, sf.dataset, epoch)
+		}
+		f, err := os.Open(sf.path)
+		if err != nil {
+			return err
+		}
+		batch, err := dataset.ReadSegment(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("server: replay %s: %w", sf.path, err)
+		}
+		next, err := sess.Append(batch)
+		if err != nil {
+			return fmt.Errorf("server: replay %s: %w", sf.path, err)
+		}
+		if _, err := reg.Swap(sf.dataset, next); err != nil {
+			return err
+		}
+		logf("replayed %s (+%d claims) onto %q", filepath.Base(sf.path), len(batch), sf.dataset)
+	}
+	return nil
 }

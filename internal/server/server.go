@@ -6,12 +6,21 @@
 //
 //	POST /v1/{dataset}/answer     online query answering (per-request
 //	                              policy/parallelism overrides, coalesced)
+//	POST /v1/{dataset}/append     live ingest: append a claim batch and
+//	                              epoch-swap in the refined successor
 //	POST /v1/{dataset}/fuse       fused view of every object
 //	POST /v1/{dataset}/recommend  trust-ranked source recommendation
 //	POST /v1/{dataset}/link       record-linkage clusters
 //	GET  /v1/{dataset}/accuracy   discovered per-source accuracies
 //	GET  /healthz                 liveness + registered datasets
 //	GET  /metrics                 Prometheus text metrics
+//
+// Sessions are immutable; an append builds a successor session (delta
+// recompute over the batch) and atomically swaps it in, bumping the
+// dataset's epoch. The epoch is part of every answer cache and singleflight
+// key, and the swap flushes the dataset's cached answers, so no request can
+// observe bytes computed from a retired epoch — requests already in flight
+// finish against the session they resolved, with zero downtime.
 //
 // Responses are rendered by the Build* helpers in core.go from exactly the
 // values a direct Session call returns, so an HTTP response is byte-for-byte
@@ -31,10 +40,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"sourcecurrents/internal/dataset"
+	"sourcecurrents/internal/model"
 	"sourcecurrents/internal/probdb"
 	"sourcecurrents/internal/session"
 )
@@ -56,7 +70,24 @@ type Options struct {
 	// entries live until evicted by capacity. Ignored unless
 	// AnswerCacheSize > 0.
 	AnswerCacheTTL time.Duration
+	// PersistDir, when set, makes every accepted append durable: the batch
+	// is written as a log segment (<dataset>.<epoch>.seg) in this directory
+	// before the swap, and LoadDir replays segments on cold start. Empty
+	// disables persistence (appends are memory-only).
+	PersistDir string
+	// CompactEvery, with PersistDir set, compacts a dataset's log once it
+	// accumulates this many segments: the refined session is snapshotted to
+	// <dataset>.snap (atomic rename) and the segments are deleted. Zero
+	// means DefaultCompactEvery; negative disables compaction.
+	CompactEvery int
+	// Logf, when non-nil, receives operational log lines (append
+	// persistence, compaction). Pass nil to run silently.
+	Logf func(format string, args ...any)
 }
+
+// DefaultCompactEvery is the segment count that triggers log compaction
+// when Options.CompactEvery is zero.
+const DefaultCompactEvery = 16
 
 // Server serves a Registry over HTTP. Create with New; safe for concurrent
 // use.
@@ -72,6 +103,12 @@ type Server struct {
 func New(reg *Registry, opt Options) *Server {
 	if opt.MaxRequestBytes <= 0 {
 		opt.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if opt.CompactEvery == 0 {
+		opt.CompactEvery = DefaultCompactEvery
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
 	}
 	return &Server{
 		reg:   reg,
@@ -185,6 +222,7 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) (string, response
 		var sb strings.Builder
 		s.met.write(&sb)
 		s.cache.writeMetrics(&sb)
+		writeDatasetMetrics(&sb, s.reg.Stats())
 		return "metrics", response{
 			status:      http.StatusOK,
 			contentType: "text/plain; version=0.0.4; charset=utf-8",
@@ -202,7 +240,7 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) (string, response
 		return "other", jsonResponse(http.StatusNotFound,
 			ErrorResponse{Error: "not found: want /v1/{dataset}/{answer|fuse|recommend|link|accuracy}"})
 	}
-	sess, ok := s.reg.Get(name)
+	sess, epoch, ok := s.reg.GetWithEpoch(name)
 	if !ok {
 		return "other", jsonResponse(http.StatusNotFound,
 			ErrorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
@@ -213,7 +251,12 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) (string, response
 		if r.Method != http.MethodPost {
 			return op, methodNotAllowed(w, http.MethodPost)
 		}
-		return op, s.handleAnswer(w, r, name, sess)
+		return op, s.handleAnswer(w, r, name, epoch, sess)
+	case "append":
+		if r.Method != http.MethodPost {
+			return op, methodNotAllowed(w, http.MethodPost)
+		}
+		return op, s.handleAppend(w, r, name)
 	case "fuse":
 		if r.Method != http.MethodPost {
 			return op, methodNotAllowed(w, http.MethodPost)
@@ -272,14 +315,17 @@ func decodeBody(body []byte, v any) error {
 }
 
 // handleAnswer serves an answer request through two read-mostly layers
-// keyed on the normalized request (dataset + AnswerRequest.cacheKey): the
-// LRU answer cache returns previously rendered bytes for a repeated
+// keyed on the normalized request (dataset + epoch + AnswerRequest.cacheKey):
+// the LRU answer cache returns previously rendered bytes for a repeated
 // request, and the singleflight group computes a cache-missing response
 // once for every identical concurrent request. Keying on the decoded
 // request rather than the raw body means whitespace/field-order variants
 // and parallelism-only differences share both layers; the rendered bytes
-// are identical either way.
-func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request, name string, sess *session.Session) response {
+// are identical either way. The epoch is the one read atomically with sess:
+// a response computed from a session is only ever cached or joined under
+// that session's own generation, so an epoch swap can never surface bytes
+// from a retired session.
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request, name string, epoch uint64, sess *session.Session) response {
 	body, err := s.readBody(w, r)
 	if err != nil {
 		return errResponse(err)
@@ -288,7 +334,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request, name strin
 	if err := decodeBody(body, &req); err != nil {
 		return errResponse(err)
 	}
-	key := name + "\x00" + req.cacheKey()
+	key := name + "\x00" + strconv.FormatUint(epoch, 10) + "\x00" + req.cacheKey()
 	if cached, ok := s.cache.get(key); ok {
 		return response{status: http.StatusOK, contentType: "application/json", body: cached}
 	}
@@ -312,6 +358,118 @@ func answerResponse(sess *session.Session, req AnswerRequest) response {
 		return errResponse(err)
 	}
 	return jsonResponse(http.StatusOK, BuildAnswerResponse(res, req.IncludeSteps))
+}
+
+// handleAppend ingests one claim batch: it builds the refined successor
+// session off the request path's current session, persists the batch as a
+// log segment when configured (a failed write aborts the ingest — nothing
+// swaps that isn't durable), and epoch-swaps the successor in. Appends to
+// the same dataset are serialized by the registry's per-entry update mutex;
+// readers are never blocked and keep serving the retired session until the
+// swap lands. After the swap the dataset's cached answers are flushed —
+// the epoch key already makes them unreachable; the flush reclaims them.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request, name string) response {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		return errResponse(err)
+	}
+	var req AppendRequest
+	if err := decodeBody(body, &req); err != nil {
+		return errResponse(err)
+	}
+	batch, err := req.batch()
+	if err != nil {
+		return errResponse(err)
+	}
+	next, epoch, err := s.reg.Update(name, func(cur *session.Session) (*session.Session, error) {
+		succ, err := cur.Append(batch)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		if s.opt.PersistDir != "" {
+			if err := s.persistSegment(name, succ.Dataset().Epoch(), batch); err != nil {
+				return nil, err
+			}
+		}
+		return succ, nil
+	})
+	if err != nil {
+		// The route already resolved the dataset, so a failure here is the
+		// batch (400 via the ErrBadRequest wrap) or persistence (500).
+		return errResponse(err)
+	}
+	if n := s.cache.flushPrefix(name + "\x00"); n > 0 {
+		s.opt.Logf("append %s: flushed %d cached answers", name, n)
+	}
+	if s.opt.PersistDir != "" && s.opt.CompactEvery > 0 {
+		s.maybeCompact(name, next)
+	}
+	return jsonResponse(http.StatusOK, BuildAppendResponse(name, epoch, len(batch), next))
+}
+
+// persistSegment writes one append batch as <name>.<epoch>.seg via a
+// temporary file and rename, so a crash mid-write leaves no torn segment.
+func (s *Server) persistSegment(name string, epoch int, batch []model.Claim) error {
+	path := filepath.Join(s.opt.PersistDir, fmt.Sprintf("%s.%06d.seg", name, epoch))
+	tmp, err := os.CreateTemp(s.opt.PersistDir, ".seg-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := dataset.WriteSegment(tmp, batch); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// maybeCompact folds a dataset's accumulated log segments into a fresh
+// session snapshot once there are CompactEvery of them: the refined serving
+// state is written to <name>.snap (atomic rename — no re-solve, the
+// snapshot captures the precompute), then the segments are deleted. The
+// snapshot lands before any segment is removed, so a crash at any point
+// leaves a directory LoadDir restores exactly (segments at or below the
+// snapshot's epoch are skipped at replay). Compaction failure is logged,
+// never surfaced: the append itself is already durable in its segment.
+func (s *Server) maybeCompact(name string, sess *session.Session) {
+	segs, err := filepath.Glob(filepath.Join(s.opt.PersistDir, name+".*.seg"))
+	if err != nil || len(segs) < s.opt.CompactEvery {
+		return
+	}
+	snapPath := filepath.Join(s.opt.PersistDir, name+".snap")
+	tmp, err := os.CreateTemp(s.opt.PersistDir, ".snap-*")
+	if err != nil {
+		s.opt.Logf("compact %s: %v", name, err)
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if err := sess.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		s.opt.Logf("compact %s: %v", name, err)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		s.opt.Logf("compact %s: %v", name, err)
+		return
+	}
+	if err := os.Rename(tmp.Name(), snapPath); err != nil {
+		s.opt.Logf("compact %s: %v", name, err)
+		return
+	}
+	removed := 0
+	for _, seg := range segs {
+		if sf, ok := parseSegmentName(strings.TrimSuffix(filepath.Base(seg), ".seg")); ok &&
+			sf.epoch <= sess.Dataset().Epoch() {
+			if err := os.Remove(seg); err == nil {
+				removed++
+			}
+		}
+	}
+	s.opt.Logf("compacted %s: snapshot at epoch %d, %d segments removed",
+		name, sess.Dataset().Epoch(), removed)
 }
 
 func (s *Server) handleFuse(sess *session.Session) response {

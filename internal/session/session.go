@@ -170,6 +170,26 @@ func newFromDep(d *dataset.Dataset, cfg Config, dep *depen.Result) (*Session, er
 	return s, nil
 }
 
+// Append advances the session across one appended claim batch: it builds
+// the successor dataset (sharing the untouched structures), runs the
+// bounded delta recompute (depen.Refine) against this session's cached
+// result, and assembles a new serving Session. The receiver is not modified
+// and keeps serving — callers swap atomically once the new session is
+// ready. The returned session is bit-identical to New over the successor
+// dataset, because a from-scratch build replays the same log with the same
+// refinement passes (the equivalence the append suites pin).
+func (s *Session) Append(batch []model.Claim) (*Session, error) {
+	d2, err := s.d.Append(batch)
+	if err != nil {
+		return nil, err
+	}
+	dep2, err := depen.Refine(d2, s.dep, s.cfg.Depen)
+	if err != nil {
+		return nil, err
+	}
+	return newFromDep(d2, s.cfg, dep2)
+}
+
 // Dataset returns the served dataset.
 func (s *Session) Dataset() *dataset.Dataset { return s.d }
 

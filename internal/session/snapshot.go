@@ -34,8 +34,13 @@ import (
 // SnapshotMagic identifies the session snapshot format.
 const SnapshotMagic = "SCDSSESS"
 
-// SnapshotVersion is the current session snapshot version.
-const SnapshotVersion = 1
+// SnapshotVersion is the current session snapshot version. Version 2 added
+// Depen.RefineRounds to the config fingerprint (the knob that shapes
+// replayed, log-carrying datasets' state); version-1 snapshots — which
+// predate append logs and therefore embed flat datasets RefineRounds never
+// influenced — are still accepted and checked against the version-1 field
+// list.
+const SnapshotVersion = 2
 
 // inlineValue marks a truth-posterior value that is not in the dataset's
 // interned value table (a Known-pinned label never asserted by any source);
@@ -111,14 +116,16 @@ type fingerprintField struct {
 	val  float64
 }
 
-// fingerprint lists every config field the cached precompute depends on.
+// fingerprint lists every config field the cached precompute depends on,
+// for the given snapshot version (later versions append fields; earlier
+// snapshots are checked against the list they were written with).
 // Callback presence is captured as a boolean field: a snapshot taken with a
 // ValueSim set cannot be loaded under a config without one (and vice
 // versa), because the stored posteriors would not match what New would
 // compute. The Known map's full content is captured as a hash of its
 // sorted entries, so a snapshot pinned to one labeling cannot be served
 // under another.
-func fingerprint(cfg depen.Config) []fingerprintField {
+func fingerprint(cfg depen.Config, version int) []fingerprintField {
 	knownHi, knownLo := knownHash(cfg.Truth.Known)
 	fields := []fingerprintField{
 		{"Depen.CopyRate", cfg.CopyRate},
@@ -139,6 +146,11 @@ func fingerprint(cfg depen.Config) []fingerprintField {
 		{"Truth.Known entries", float64(len(cfg.Truth.Known))},
 		{"Truth.Known hash hi", knownHi},
 		{"Truth.Known hash lo", knownLo},
+	}
+	if version >= 2 {
+		fields = append(fields, fingerprintField{
+			"Depen.RefineRounds", float64(cfg.EffectiveRefineRounds()),
+		})
 	}
 	return fields
 }
@@ -176,7 +188,7 @@ func knownHash(known map[model.ObjectID]string) (hi, lo float64) {
 }
 
 func encodeFingerprint(enc *snapio.Writer, cfg depen.Config) {
-	fields := fingerprint(cfg)
+	fields := fingerprint(cfg, SnapshotVersion)
 	enc.U32(uint32(len(fields)))
 	for _, f := range fields {
 		enc.Str(f.name)
@@ -185,8 +197,8 @@ func encodeFingerprint(enc *snapio.Writer, cfg depen.Config) {
 }
 
 // checkFingerprint compares the stored fields against the load-time config.
-func checkFingerprint(dec *snapio.Reader, cfg depen.Config) error {
-	want := fingerprint(cfg)
+func checkFingerprint(dec *snapio.Reader, cfg depen.Config, version int) error {
+	want := fingerprint(cfg, version)
 	n := dec.Count(2)
 	if dec.Err() != nil {
 		return nil // latched; surfaced by the caller's Finish
@@ -222,7 +234,7 @@ func LoadSnapshot(r io.Reader, cfg Config) (*Session, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	dec, _, err := snapio.OpenFrame(r, SnapshotMagic, SnapshotVersion)
+	dec, version, err := snapio.OpenFrame(r, SnapshotMagic, SnapshotVersion)
 	if err != nil {
 		return nil, fmt.Errorf("session: snapshot: %w", err)
 	}
@@ -240,7 +252,7 @@ func LoadSnapshot(r io.Reader, cfg Config) (*Session, error) {
 	}
 	c := d.Compiled()
 
-	if err := checkFingerprint(dec, cfg.Depen); err != nil {
+	if err := checkFingerprint(dec, cfg.Depen, int(version)); err != nil {
 		return nil, err
 	}
 

@@ -21,7 +21,7 @@ if [ ! -s "$OUT" ]; then
   # (blocking) invocation as if it covered everything.
   TMP="$(mktemp)"
   trap 'rm -f "$TMP"' EXIT
-  go test -short -bench '^(BenchmarkPlannerAnswer|BenchmarkSessionAnswer|BenchmarkSessionFuse)$' \
+  go test -short -bench '^(BenchmarkPlannerAnswer|BenchmarkSessionAnswer|BenchmarkSessionFuse|BenchmarkSessionAppend)$' \
     -benchtime 2x -run '^$' . > "$TMP"
   go test -short -bench '^(BenchmarkServerAnswer|BenchmarkServerAnswerCached)$' \
     -benchtime 5x -run '^$' ./internal/server/ >> "$TMP"
