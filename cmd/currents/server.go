@@ -35,11 +35,15 @@ func runSnapshot(args []string) error {
 	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
 	out := fs.String("o", "", "output snapshot path (required)")
 	parallelism := fs.Int("parallelism", 0, "worker count for the precompute (0 = all cores)")
+	format := fs.String("format", "v2", "snapshot format: v2 (mmap-friendly section container) or v1 (legacy stream)")
 	prof := profiling.Register(fs)
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 || *out == "" {
-		fmt.Fprintln(os.Stderr, "usage: currents snapshot -o out.snap [-parallelism N] file.csv")
+		fmt.Fprintln(os.Stderr, "usage: currents snapshot -o out.snap [-format v2|v1] [-parallelism N] file.csv")
 		os.Exit(2)
+	}
+	if *format != "v1" && *format != "v2" {
+		return fmt.Errorf("snapshot: unknown -format %q (want v1 or v2)", *format)
 	}
 	if err := prof.Start(); err != nil {
 		return err
@@ -61,7 +65,11 @@ func runSnapshot(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := s.WriteSnapshot(f); err != nil {
+	write := s.WriteSnapshot
+	if *format == "v2" {
+		write = s.WriteSnapshotV2
+	}
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}
@@ -72,8 +80,8 @@ func runSnapshot(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "snapshot %s: %d claims, %d sources, %d objects, %d bytes (precompute %v)\n",
-		*out, d.Len(), len(d.Sources()), len(d.Objects()), info.Size(),
+	fmt.Fprintf(os.Stderr, "snapshot %s (%s): %d claims, %d sources, %d objects, %d bytes (precompute %v)\n",
+		*out, *format, d.Len(), len(d.Sources()), len(d.Objects()), info.Size(),
 		precompute.Round(time.Millisecond))
 	return nil
 }
@@ -91,11 +99,12 @@ func runServer(args []string) error {
 	cacheTTL := fs.Duration("cache-ttl", 0, "answer cache entry lifetime (0 = until evicted)")
 	persist := fs.String("persist-appends", "", "directory for append-log segments (\"\" = memory-only appends; \"load\" = the -load directory)")
 	compactEvery := fs.Int("compact-every", server.DefaultCompactEvery, "compact a dataset's log after this many segments (<0 disables)")
+	maxResident := fs.Int("max-resident", 0, "max sessions resident at once; idle worlds are unmapped LRU-first (0 = unbounded)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	prof := profiling.Register(fs)
 	_ = fs.Parse(args)
 	if *load == "" || fs.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: currents server -addr :8080 -load DIR [-parallelism N] [-cache-size N] [-cache-ttl D] [-persist-appends DIR] [-compact-every N] [-pprof]")
+		fmt.Fprintln(os.Stderr, "usage: currents server -addr :8080 -load DIR [-parallelism N] [-cache-size N] [-cache-ttl D] [-persist-appends DIR] [-compact-every N] [-max-resident N] [-pprof]")
 		os.Exit(2)
 	}
 	if *persist == "load" {
@@ -114,6 +123,10 @@ func runServer(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *maxResident > 0 {
+		reg.SetMaxResident(*maxResident)
+		fmt.Fprintf(os.Stderr, "server: resident bound %d (idle worlds unmap LRU-first)\n", *maxResident)
 	}
 	fmt.Fprintf(os.Stderr, "server: %d dataset(s) ready in %v, listening on %s\n",
 		reg.Len(), time.Since(start).Round(time.Millisecond), *addr)
@@ -190,10 +203,14 @@ func runLoadgen(args []string) error {
 	appendFile := fs.String("append-file", "", "claims CSV to append live during the run (enables mixed mode)")
 	appendInterval := fs.Duration("append-interval", 500*time.Millisecond, "delay between append batches in mixed mode")
 	appendBatch := fs.Int("append-batch", 10, "claims per append batch in mixed mode")
+	coldStart := fs.Bool("cold-start", false, "measure time-to-first-answer per dataset (-dataset takes a comma-separated list) instead of sustained load")
 	_ = fs.Parse(args)
 	if *dsName == "" || fs.NArg() != 0 || *concurrency < 1 {
-		fmt.Fprintln(os.Stderr, "usage: currents loadgen -addr URL -dataset NAME [-op answer] -query \"e,a;...\" [-concurrency N] [-duration 5s] [-append-file claims.csv [-append-interval D] [-append-batch N]]")
+		fmt.Fprintln(os.Stderr, "usage: currents loadgen -addr URL -dataset NAME [-op answer] -query \"e,a;...\" [-concurrency N] [-duration 5s] [-cold-start] [-append-file claims.csv [-append-interval D] [-append-batch N]]")
 		os.Exit(2)
+	}
+	if *coldStart {
+		return runColdStart(strings.TrimRight(*addr, "/"), *dsName, *op, *query)
 	}
 	var appendClaims []sourcecurrents.Claim
 	if *appendFile != "" {
@@ -214,35 +231,10 @@ func runLoadgen(args []string) error {
 		}
 	}
 
-	var method, path, body string
 	base := strings.TrimRight(*addr, "/")
-	switch *op {
-	case "answer":
-		if *query == "" {
-			return fmt.Errorf("loadgen: -op answer requires -query")
-		}
-		objs, err := parseQueryList(*query)
-		if err != nil {
-			return err
-		}
-		var sb strings.Builder
-		sb.WriteString(`{"query":[`)
-		for i, o := range objs {
-			if i > 0 {
-				sb.WriteByte(',')
-			}
-			fmt.Fprintf(&sb, `{"entity":%q,"attribute":%q}`, o.Entity, o.Attribute)
-		}
-		sb.WriteString(`]}`)
-		method, path, body = http.MethodPost, "/v1/"+*dsName+"/answer", sb.String()
-	case "fuse":
-		method, path = http.MethodPost, "/v1/"+*dsName+"/fuse"
-	case "recommend":
-		method, path, body = http.MethodPost, "/v1/"+*dsName+"/recommend", `{"k":5}`
-	case "accuracy":
-		method, path = http.MethodGet, "/v1/"+*dsName+"/accuracy"
-	default:
-		return fmt.Errorf("loadgen: unknown op %q", *op)
+	method, path, body, err := buildLoadRequest(*op, *dsName, *query)
+	if err != nil {
+		return err
 	}
 	url := base + path
 
@@ -404,6 +396,99 @@ func runLoadgen(args []string) error {
 			return fmt.Errorf("loadgen: mixed mode FAILED: %d read errors, %d append errors (zero required)", nErr, appendErrs)
 		}
 		fmt.Println("mixed mode PASS: zero failed requests during swaps")
+	}
+	return nil
+}
+
+// buildLoadRequest maps a loadgen operation onto its HTTP shape for one
+// dataset.
+func buildLoadRequest(op, dsName, query string) (method, path, body string, err error) {
+	switch op {
+	case "answer":
+		if query == "" {
+			return "", "", "", fmt.Errorf("loadgen: -op answer requires -query")
+		}
+		objs, err := parseQueryList(query)
+		if err != nil {
+			return "", "", "", err
+		}
+		var sb strings.Builder
+		sb.WriteString(`{"query":[`)
+		for i, o := range objs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, `{"entity":%q,"attribute":%q}`, o.Entity, o.Attribute)
+		}
+		sb.WriteString(`]}`)
+		return http.MethodPost, "/v1/" + dsName + "/answer", sb.String(), nil
+	case "fuse":
+		return http.MethodPost, "/v1/" + dsName + "/fuse", "", nil
+	case "recommend":
+		return http.MethodPost, "/v1/" + dsName + "/recommend", `{"k":5}`, nil
+	case "accuracy":
+		return http.MethodGet, "/v1/" + dsName + "/accuracy", "", nil
+	default:
+		return "", "", "", fmt.Errorf("loadgen: unknown op %q", op)
+	}
+}
+
+// runColdStart measures time-to-first-answer for each named dataset: one
+// timed request against a freshly started lazy server pays the mmap (v2)
+// or decode (v1) on first touch, and a second request shows the resident
+// steady state. The gap between the two columns is the cold-start cost the
+// lazy registry defers until a world is actually queried.
+func runColdStart(base, datasets, op, query string) error {
+	client := &http.Client{}
+	timedGet := func(method, url, body string) (time.Duration, error) {
+		t0 := time.Now()
+		req, err := http.NewRequest(method, url, strings.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		if method == http.MethodPost {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+		}
+		return time.Since(t0), nil
+	}
+	fmt.Printf("%-20s %14s %14s\n", "dataset", "first-answer", "warm")
+	var failed bool
+	for _, name := range strings.Split(datasets, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		method, path, body, err := buildLoadRequest(op, name, query)
+		if err != nil {
+			return err
+		}
+		url := base + path
+		cold, err := timedGet(method, url, body)
+		if err != nil {
+			fmt.Printf("%-20s %14s %14s  (%v)\n", name, "FAIL", "-", err)
+			failed = true
+			continue
+		}
+		warm, err := timedGet(method, url, body)
+		if err != nil {
+			fmt.Printf("%-20s %14v %14s  (%v)\n", name, cold.Round(time.Microsecond), "FAIL", err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%-20s %14v %14v\n", name,
+			cold.Round(time.Microsecond), warm.Round(time.Microsecond))
+	}
+	if failed {
+		return fmt.Errorf("loadgen: cold-start had failing datasets")
 	}
 	return nil
 }

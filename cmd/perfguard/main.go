@@ -11,7 +11,13 @@
 // and skipped, so adding a benchmark never breaks the guard before the
 // baseline is refreshed.
 //
-//	go test -short -bench ... -benchtime 2x -run '^$' ./... > bench.txt
+// When the bench output carries -benchmem columns, allocs/op is gated too:
+// unlike ns/op, allocation counts are deterministic per build, so drift is
+// a code change, not hardware noise. Exceeding baseline allocs by
+// -alloc-warn (1.5x) prints a warning; exceeding -alloc-factor (2.5x)
+// fails the run just like an ns/op regression.
+//
+//	go test -short -bench ... -benchtime 2x -benchmem -run '^$' ./... > bench.txt
 //	perfguard -baseline BENCH_baseline.json -bench bench.txt -factor 2.5
 package main
 
@@ -33,15 +39,18 @@ type baselineFile struct {
 	} `json:"benchmarks"`
 }
 
-// benchLine matches one benchmark result line: name, iteration count and
-// ns/op. The trailing -N GOMAXPROCS suffix is stripped from the name so it
-// matches the baseline keys.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// benchLine matches one benchmark result line: name, iteration count,
+// ns/op, and (when -benchmem was set) the B/op and allocs/op columns. The
+// trailing -N GOMAXPROCS suffix is stripped from the name so it matches
+// the baseline keys.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+([0-9]+) allocs/op)?`)
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON path")
 	benchPath := flag.String("bench", "-", "go test -bench output path (- for stdin)")
 	factor := flag.Float64("factor", 2.5, "fail when ns/op exceeds baseline by this factor")
+	allocWarn := flag.Float64("alloc-warn", 1.5, "warn when allocs/op exceeds baseline by this factor")
+	allocFactor := flag.Float64("alloc-factor", 2.5, "fail when allocs/op exceeds baseline by this factor")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -63,7 +72,7 @@ func main() {
 		in = f
 	}
 
-	var regressed, compared, unknown int
+	var regressed, compared, unknown, allocWarned, allocCompared int
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -90,6 +99,28 @@ func main() {
 		}
 		fmt.Printf("%-5s %-50s %12.0f ns/op  baseline %12.0f  (%.2fx, limit %.2fx)\n",
 			status, name, ns, want.NsPerOp, ratio, *factor)
+
+		// Alloc gate: only when the run carried -benchmem and the baseline
+		// recorded a nonzero count for this benchmark.
+		if m[3] == "" || want.AllocsPerOp <= 0 {
+			continue
+		}
+		allocs, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		allocCompared++
+		aRatio := allocs / want.AllocsPerOp
+		switch {
+		case aRatio > *allocFactor:
+			regressed++
+			fmt.Printf("REGRESSED %-46s %12.0f allocs/op  baseline %12.0f  (%.2fx, limit %.2fx)\n",
+				name, allocs, want.AllocsPerOp, aRatio, *allocFactor)
+		case aRatio > *allocWarn:
+			allocWarned++
+			fmt.Printf("WARN  %-50s %12.0f allocs/op  baseline %12.0f  (%.2fx, warn %.2fx)\n",
+				name, allocs, want.AllocsPerOp, aRatio, *allocWarn)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		fatal(err)
@@ -97,8 +128,8 @@ func main() {
 	if compared == 0 {
 		fatal(fmt.Errorf("no benchmark lines matched the baseline (wrong -bench file?)"))
 	}
-	fmt.Printf("perfguard: %d compared, %d regressed, %d unknown (factor %.2fx)\n",
-		compared, regressed, unknown, *factor)
+	fmt.Printf("perfguard: %d compared (%d with allocs), %d regressed, %d alloc warnings, %d unknown (factor %.2fx, alloc %.2fx/%.2fx)\n",
+		compared, allocCompared, regressed, allocWarned, unknown, *factor, *allocWarn, *allocFactor)
 	if regressed > 0 {
 		os.Exit(1)
 	}

@@ -119,9 +119,9 @@ func TestAppendCompiledMatchesFromScratch(t *testing.T) {
 			t.Fatal(err)
 		}
 		got, want := d.Compiled(), flat.Compiled()
-		if !reflect.DeepEqual(got.Sources, want.Sources) ||
-			!reflect.DeepEqual(got.Objects, want.Objects) ||
-			!reflect.DeepEqual(got.Values, want.Values) {
+		if !reflect.DeepEqual(got.sources, want.sources) ||
+			!reflect.DeepEqual(got.objects, want.objects) ||
+			!reflect.DeepEqual(got.values, want.values) {
 			t.Fatal("interned tables differ")
 		}
 		if !reflect.DeepEqual(got.GroupStart, want.GroupStart) ||

@@ -18,18 +18,32 @@ package dataset
 
 import (
 	"sort"
+	"strings"
+	"unsafe"
 
 	"sourcecurrents/internal/model"
 )
 
 // Compiled is the dense, interned, read-only view of a frozen Dataset.
-// Build it with Dataset.Compiled(); all fields are shared and must not be
-// mutated.
+// Build it with Dataset.Compiled() (heap backend) or load it zero-copy from
+// a snapshot v2 container (mapped backend); all fields are shared and must
+// not be mutated. Consumers reach the interning tables through the
+// Source/Object/Value accessors, which hide which backend is underneath.
 type Compiled struct {
-	// Interning tables, each sorted, so index order == string order.
-	Sources []model.SourceID
-	Objects []model.ObjectID
-	Values  []string
+	// Heap backend: interning tables built by compile(), each sorted, so
+	// index order == string order. nil in the mapped backend.
+	sources []model.SourceID
+	objects []model.ObjectID
+	values  []string
+
+	// Mapped backend: every interned string is a byte range of strBlob
+	// (which aliases the mapped snapshot). Table entry i spans
+	// off[i]..off[i+1]; objects store two consecutive ranges (entity, then
+	// attribute), so objOff holds 2n+1 offsets. nil in the heap backend.
+	strBlob []byte
+	srcOff  []int32
+	objOff  []int32
+	valOff  []int32
 
 	// Per-object candidate value groups (snapshot view), CSR. Object oi's
 	// groups occupy global group indexes GroupStart[oi]..GroupStart[oi+1],
@@ -84,15 +98,15 @@ func compile(d *Dataset) *Compiled {
 		return c
 	}
 	c := &Compiled{
-		Sources: d.sources,
-		Objects: d.objects,
+		sources: d.sources,
+		objects: d.objects,
 	}
-	c.srcIdx = make(map[model.SourceID]int32, len(c.Sources))
-	for i, s := range c.Sources {
+	c.srcIdx = make(map[model.SourceID]int32, len(c.sources))
+	for i, s := range c.sources {
 		c.srcIdx[s] = int32(i)
 	}
-	c.objIdx = make(map[model.ObjectID]int32, len(c.Objects))
-	for i, o := range c.Objects {
+	c.objIdx = make(map[model.ObjectID]int32, len(c.objects))
+	for i, o := range c.objects {
 		c.objIdx[o] = int32(i)
 	}
 
@@ -101,13 +115,13 @@ func compile(d *Dataset) *Compiled {
 	for _, cl := range d.claims {
 		seen[cl.Value] = struct{}{}
 	}
-	c.Values = make([]string, 0, len(seen))
+	c.values = make([]string, 0, len(seen))
 	for v := range seen {
-		c.Values = append(c.Values, v)
+		c.values = append(c.values, v)
 	}
-	sort.Strings(c.Values)
-	c.valIdx = make(map[string]int32, len(c.Values))
-	for i, v := range c.Values {
+	sort.Strings(c.values)
+	c.valIdx = make(map[string]int32, len(c.values))
+	for i, v := range c.values {
 		c.valIdx[v] = int32(i)
 	}
 
@@ -133,7 +147,14 @@ func compileShared(d *Dataset) *Compiled {
 	bc := base.Compiled()
 	// Append only ever adds ids, so equal table lengths mean identical
 	// (shared) tables.
-	if len(d.sources) != len(bc.Sources) || len(d.objects) != len(bc.Objects) {
+	if len(d.sources) != bc.NumSources() || len(d.objects) != bc.NumObjects() {
+		return nil
+	}
+	// The predecessor could be mapped (a session materialized from a v2
+	// snapshot): its index maps are nil and its strings alias the mapping,
+	// which must not leak into a successor that outlives it. Appends always
+	// run against materialized datasets, so just rebuild from scratch.
+	if bc.srcIdx == nil {
 		return nil
 	}
 	for _, cl := range d.Batch() {
@@ -142,9 +163,9 @@ func compileShared(d *Dataset) *Compiled {
 		}
 	}
 	c := &Compiled{
-		Sources: bc.Sources,
-		Objects: bc.Objects,
-		Values:  bc.Values,
+		sources: bc.sources,
+		objects: bc.objects,
+		values:  bc.values,
 		srcIdx:  bc.srcIdx,
 		objIdx:  bc.objIdx,
 		valIdx:  bc.valIdx,
@@ -159,9 +180,9 @@ func compileShared(d *Dataset) *Compiled {
 // already returns groups in sorted-value order with deduped ascending
 // sources, which is exactly the canonical order the solvers iterate in.
 func (c *Compiled) buildGroups(d *Dataset) {
-	c.GroupStart = make([]int32, len(c.Objects)+1)
+	c.GroupStart = make([]int32, len(c.objects)+1)
 	c.GroupSrcStart = append(c.GroupSrcStart, 0)
-	for oi, o := range c.Objects {
+	for oi, o := range c.objects {
 		groups := d.ValuesFor(o)
 		if len(groups) > c.maxGroups {
 			c.maxGroups = len(groups)
@@ -183,9 +204,9 @@ func (c *Compiled) buildGroups(d *Dataset) {
 // order — the same layout as iterating each source's sorted object list,
 // without re-sorting per source.
 func (c *Compiled) buildSourceClaims(d *Dataset) {
-	nS := len(c.Sources)
+	nS := len(c.sources)
 	c.SrcStart = make([]int32, nS+1)
-	for si, s := range c.Sources {
+	for si, s := range c.sources {
 		c.SrcStart[si+1] = c.SrcStart[si] + int32(len(d.valueOf[s]))
 	}
 	total := int(c.SrcStart[nS])
@@ -194,7 +215,7 @@ func (c *Compiled) buildSourceClaims(d *Dataset) {
 	c.SrcGroup = make([]int32, total)
 	cursor := make([]int32, nS)
 	copy(cursor, c.SrcStart[:nS])
-	for oi, o := range c.Objects {
+	for oi, o := range c.objects {
 		// byObject is source-sorted after Freeze; a source re-asserting o
 		// appears in adjacent entries and contributes one snapshot claim.
 		var last model.SourceID
@@ -229,10 +250,10 @@ func (c *Compiled) findGroup(oi, vi int32) int32 {
 // first/last assertion spans, sorted by packed key, and tallies how many
 // sources ever make each assertion (the temporal rarity denominator).
 func (c *Compiled) buildSpans(d *Dataset) {
-	c.SpanStart = make([]int32, len(c.Sources)+1)
+	c.SpanStart = make([]int32, len(c.sources)+1)
 	pop := map[int64]int32{}
 	type span struct{ first, last model.Time }
-	for si, s := range c.Sources {
+	for si, s := range c.sources {
 		spans := map[int64]span{}
 		for _, idx := range d.bySource[s] {
 			cl := d.claims[idx]
@@ -294,22 +315,150 @@ func (c *Compiled) MaxSourcesPerGroup() int {
 	return max
 }
 
+// Accessor API over the interning tables. Index order == string order in
+// both backends, so the mapped backend answers lookups by binary search
+// over the sorted table instead of rebuilding index maps (which would blow
+// the snapshot-load allocation budget).
+
+// NumSources returns the source-table length.
+func (c *Compiled) NumSources() int {
+	if c.srcOff != nil {
+		return len(c.srcOff) - 1
+	}
+	return len(c.sources)
+}
+
+// NumObjects returns the object-table length.
+func (c *Compiled) NumObjects() int {
+	if c.objOff != nil {
+		return (len(c.objOff) - 1) / 2
+	}
+	return len(c.objects)
+}
+
+// NumValues returns the value-table length.
+func (c *Compiled) NumValues() int {
+	if c.valOff != nil {
+		return len(c.valOff) - 1
+	}
+	return len(c.values)
+}
+
+// str returns blob bytes [lo,hi) as a zero-copy string view. The view
+// aliases the mapped region and is invalidated by unmapping.
+func (c *Compiled) str(lo, hi int32) string {
+	if lo == hi {
+		return ""
+	}
+	return unsafe.String(&c.strBlob[lo], int(hi-lo))
+}
+
+// Source returns interned source i.
+func (c *Compiled) Source(i int) model.SourceID {
+	if c.srcOff != nil {
+		return model.SourceID(c.str(c.srcOff[i], c.srcOff[i+1]))
+	}
+	return c.sources[i]
+}
+
+// Object returns interned object i.
+func (c *Compiled) Object(i int) model.ObjectID {
+	if c.objOff != nil {
+		return model.ObjectID{
+			Entity:    c.str(c.objOff[2*i], c.objOff[2*i+1]),
+			Attribute: c.str(c.objOff[2*i+1], c.objOff[2*i+2]),
+		}
+	}
+	return c.objects[i]
+}
+
+// Value returns interned value i.
+func (c *Compiled) Value(i int) string {
+	if c.valOff != nil {
+		return c.str(c.valOff[i], c.valOff[i+1])
+	}
+	return c.values[i]
+}
+
+// SourceIDs returns the sorted source table as a slice. The heap backend
+// returns the shared interning table (treat as read-only); the mapped
+// backend materializes a fresh copy whose strings do not alias the mapping,
+// so the result survives unmapping.
+func (c *Compiled) SourceIDs() []model.SourceID {
+	if c.srcOff == nil {
+		return c.sources
+	}
+	out := make([]model.SourceID, c.NumSources())
+	for i := range out {
+		out[i] = model.SourceID(strings.Clone(string(c.Source(i))))
+	}
+	return out
+}
+
+// ObjectIDs returns the sorted object table as a slice, under the same
+// sharing/copying contract as SourceIDs.
+func (c *Compiled) ObjectIDs() []model.ObjectID {
+	if c.objOff == nil {
+		return c.objects
+	}
+	out := make([]model.ObjectID, c.NumObjects())
+	for i := range out {
+		o := c.Object(i)
+		out[i] = model.ObjectID{
+			Entity:    strings.Clone(o.Entity),
+			Attribute: strings.Clone(o.Attribute),
+		}
+	}
+	return out
+}
+
 // SourceIndex returns the dense index of s.
 func (c *Compiled) SourceIndex(s model.SourceID) (int32, bool) {
-	i, ok := c.srcIdx[s]
-	return i, ok
+	if c.srcIdx != nil {
+		i, ok := c.srcIdx[s]
+		return i, ok
+	}
+	n := c.NumSources()
+	k := sort.Search(n, func(i int) bool { return c.Source(i) >= s })
+	if k < n && c.Source(k) == s {
+		return int32(k), true
+	}
+	return 0, false
 }
 
 // ObjectIndex returns the dense index of o.
 func (c *Compiled) ObjectIndex(o model.ObjectID) (int32, bool) {
-	i, ok := c.objIdx[o]
-	return i, ok
+	if c.objIdx != nil {
+		i, ok := c.objIdx[o]
+		return i, ok
+	}
+	n := c.NumObjects()
+	// Objects are sorted by (entity, attribute) — model.SortObjects order.
+	k := sort.Search(n, func(i int) bool {
+		ci := c.Object(i)
+		if ci.Entity != o.Entity {
+			return ci.Entity > o.Entity
+		}
+		return ci.Attribute >= o.Attribute
+	})
+	if k < n && c.Object(k) == o {
+		return int32(k), true
+	}
+	return 0, false
 }
 
 // ValueIndex returns the dense index of value v.
 func (c *Compiled) ValueIndex(v string) (int32, bool) {
-	i, ok := c.valIdx[v]
-	return i, ok
+	if c.valIdx != nil {
+		i, ok := c.valIdx[v]
+		return i, ok
+	}
+	n := c.NumValues()
+	k := sort.Search(n, func(i int) bool { return c.Value(i) >= v })
+	if k < n && c.Value(k) == v {
+		return int32(k), true
+	}
+	return 0, false
 }
 
 // ClaimOf returns the position in the per-source claim arrays (SrcObj,

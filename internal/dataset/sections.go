@@ -1,0 +1,289 @@
+// Snapshot v2 section codec for the compiled columnar view.
+//
+// The write side lays every dense table of a Compiled into sections of a
+// snapio container in its exact in-memory layout (int32/int64 tables cast
+// to bytes, strings concatenated into one blob indexed by offset tables).
+// The read side casts the mapped sections straight back into slices — no
+// decode loop, no per-table allocation — after a linear structural
+// validation pass that makes every later indexed access bounds-safe even
+// against adversarial input.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"unsafe"
+
+	"sourcecurrents/internal/model"
+	"sourcecurrents/internal/snapio"
+)
+
+// Section ids for the compiled tables inside a snapshot v2 container.
+// Containers embedding a Compiled (the session snapshot) reserve ids below
+// SecCompiledEnd for this codec and place their own sections above it.
+const (
+	SecGroupStart uint32 = iota + 1
+	SecGroupValue
+	SecGroupSrcStart
+	SecGroupSrc
+	SecSrcStart
+	SecSrcObj
+	SecSrcVal
+	SecSrcGroup
+	SecSpanStart
+	SecSpanKey
+	SecSpanFirst
+	SecSpanLast
+	SecPopKey
+	SecPopCount
+	SecStrBlob
+	SecSrcOff
+	SecObjOff
+	SecValOff
+
+	// SecCompiledEnd is the first id free for embedding containers.
+	SecCompiledEnd = 64
+)
+
+// timeBytes views a []model.Time (defined as int64) as raw bytes.
+func timeBytes(v []model.Time) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+// timesFromI64 views an []int64 section as []model.Time.
+func timesFromI64(v []int64) []model.Time {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*model.Time)(unsafe.Pointer(&v[0])), len(v))
+}
+
+// AppendSections adds every compiled table to w. The CSR slices are added
+// as aliasing views (zero copy); the three interning tables are flattened
+// into a fresh string blob plus offset tables, which is the one encode cost
+// v2 pays at write time so loads never pay it again.
+func (c *Compiled) AppendSections(w *snapio.SectionWriter) error {
+	nS, nO, nV := c.NumSources(), c.NumObjects(), c.NumValues()
+	var total int
+	for i := 0; i < nS; i++ {
+		total += len(c.Source(i))
+	}
+	for i := 0; i < nO; i++ {
+		o := c.Object(i)
+		total += len(o.Entity) + len(o.Attribute)
+	}
+	for i := 0; i < nV; i++ {
+		total += len(c.Value(i))
+	}
+	if total > math.MaxInt32 {
+		return fmt.Errorf("dataset: interned strings total %d bytes, too large for snapshot v2", total)
+	}
+	blob := make([]byte, 0, total)
+	srcOff := make([]int32, nS+1)
+	for i := 0; i < nS; i++ {
+		blob = append(blob, c.Source(i)...)
+		srcOff[i+1] = int32(len(blob))
+	}
+	objOff := make([]int32, 2*nO+1)
+	objOff[0] = int32(len(blob))
+	for i := 0; i < nO; i++ {
+		o := c.Object(i)
+		blob = append(blob, o.Entity...)
+		objOff[2*i+1] = int32(len(blob))
+		blob = append(blob, o.Attribute...)
+		objOff[2*i+2] = int32(len(blob))
+	}
+	valOff := make([]int32, nV+1)
+	valOff[0] = int32(len(blob))
+	for i := 0; i < nV; i++ {
+		blob = append(blob, c.Value(i)...)
+		valOff[i+1] = int32(len(blob))
+	}
+
+	w.Add(SecGroupStart, snapio.I32Bytes(c.GroupStart))
+	w.Add(SecGroupValue, snapio.I32Bytes(c.GroupValue))
+	w.Add(SecGroupSrcStart, snapio.I32Bytes(c.GroupSrcStart))
+	w.Add(SecGroupSrc, snapio.I32Bytes(c.GroupSrc))
+	w.Add(SecSrcStart, snapio.I32Bytes(c.SrcStart))
+	w.Add(SecSrcObj, snapio.I32Bytes(c.SrcObj))
+	w.Add(SecSrcVal, snapio.I32Bytes(c.SrcVal))
+	w.Add(SecSrcGroup, snapio.I32Bytes(c.SrcGroup))
+	w.Add(SecSpanStart, snapio.I32Bytes(c.SpanStart))
+	w.Add(SecSpanKey, snapio.I64Bytes(c.SpanKey))
+	w.Add(SecSpanFirst, timeBytes(c.SpanFirst))
+	w.Add(SecSpanLast, timeBytes(c.SpanLast))
+	w.Add(SecPopKey, snapio.I64Bytes(c.PopKey))
+	w.Add(SecPopCount, snapio.I32Bytes(c.PopCount))
+	w.Add(SecStrBlob, blob)
+	w.Add(SecSrcOff, snapio.I32Bytes(srcOff))
+	w.Add(SecObjOff, snapio.I32Bytes(objOff))
+	w.Add(SecValOff, snapio.I32Bytes(valOff))
+	return nil
+}
+
+// secErr builds an ErrCorrupt-classed validation error.
+func secErr(format string, args ...any) error {
+	return fmt.Errorf("%w: compiled sections: %s", snapio.ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// checkCSR validates a CSR start table: first entry 0 (or base), monotonic
+// non-decreasing, last entry == limit.
+func checkCSR(name string, start []int32, base, limit int32) error {
+	if len(start) == 0 || start[0] != base {
+		return secErr("%s must begin at %d", name, base)
+	}
+	for i := 1; i < len(start); i++ {
+		if start[i] < start[i-1] {
+			return secErr("%s not monotonic at %d", name, i)
+		}
+	}
+	if start[len(start)-1] != limit {
+		return secErr("%s ends at %d, want %d", name, start[len(start)-1], limit)
+	}
+	return nil
+}
+
+// checkRange validates every entry of tab lies in [0, limit).
+func checkRange(name string, tab []int32, limit int32) error {
+	for i, v := range tab {
+		if v < 0 || v >= limit {
+			return secErr("%s[%d] = %d out of range [0,%d)", name, i, v, limit)
+		}
+	}
+	return nil
+}
+
+// CompiledFromMapped builds the mapped-backend Compiled over a validated
+// section container. Every table is a zero-copy view into m; the result is
+// usable only while m stays mapped. The validation pass is linear scans —
+// O(tables) time, O(1) allocation — and guarantees that all the indexed
+// accesses the solvers perform stay in bounds whatever the file contents.
+func CompiledFromMapped(m *snapio.Mapped) (*Compiled, error) {
+	c := &Compiled{}
+	var err error
+	sec32 := func(id uint32, dst *[]int32) {
+		if err == nil {
+			*dst, err = m.I32Section(id)
+		}
+	}
+	sec64 := func(id uint32, dst *[]int64) {
+		if err == nil {
+			*dst, err = m.I64Section(id)
+		}
+	}
+	sec32(SecGroupStart, &c.GroupStart)
+	sec32(SecGroupValue, &c.GroupValue)
+	sec32(SecGroupSrcStart, &c.GroupSrcStart)
+	sec32(SecGroupSrc, &c.GroupSrc)
+	sec32(SecSrcStart, &c.SrcStart)
+	sec32(SecSrcObj, &c.SrcObj)
+	sec32(SecSrcVal, &c.SrcVal)
+	sec32(SecSrcGroup, &c.SrcGroup)
+	sec32(SecSpanStart, &c.SpanStart)
+	sec64(SecSpanKey, &c.SpanKey)
+	var first, last []int64
+	sec64(SecSpanFirst, &first)
+	sec64(SecSpanLast, &last)
+	sec64(SecPopKey, &c.PopKey)
+	sec32(SecPopCount, &c.PopCount)
+	sec32(SecSrcOff, &c.srcOff)
+	sec32(SecObjOff, &c.objOff)
+	sec32(SecValOff, &c.valOff)
+	if err != nil {
+		return nil, err
+	}
+	c.SpanFirst = timesFromI64(first)
+	c.SpanLast = timesFromI64(last)
+	blob, ok := m.Section(SecStrBlob)
+	if !ok {
+		return nil, secErr("string blob missing")
+	}
+	c.strBlob = blob
+
+	// String offset tables: shapes, then in-blob monotonic ranges. An
+	// out-of-range offset here is what would otherwise become an OOB string
+	// view in an accessor.
+	if len(c.srcOff) < 2 || len(c.valOff) < 2 || len(c.objOff) < 3 || len(c.objOff)%2 == 0 {
+		return nil, secErr("string offset tables too short (%d/%d/%d)",
+			len(c.srcOff), len(c.objOff), len(c.valOff))
+	}
+	checkOff := func(name string, off []int32, base int32) (int32, error) {
+		if off[0] != base {
+			return 0, secErr("%s must begin at %d, got %d", name, base, off[0])
+		}
+		for i := 1; i < len(off); i++ {
+			if off[i] < off[i-1] {
+				return 0, secErr("%s not monotonic at %d", name, i)
+			}
+		}
+		if last := off[len(off)-1]; int(last) > len(blob) {
+			return 0, secErr("%s ends at %d beyond blob of %d", name, last, len(blob))
+		}
+		return off[len(off)-1], nil
+	}
+	pos, err := checkOff("srcOff", c.srcOff, 0)
+	if err != nil {
+		return nil, err
+	}
+	if pos, err = checkOff("objOff", c.objOff, pos); err != nil {
+		return nil, err
+	}
+	if pos, err = checkOff("valOff", c.valOff, pos); err != nil {
+		return nil, err
+	}
+	if int(pos) != len(blob) {
+		return nil, secErr("string blob has %d trailing bytes", len(blob)-int(pos))
+	}
+
+	nS, nO, nV := int32(c.NumSources()), int32(c.NumObjects()), int32(c.NumValues())
+
+	// CSR shapes and cross-table index ranges.
+	if len(c.GroupStart) != int(nO)+1 || len(c.SrcStart) != int(nS)+1 || len(c.SpanStart) != int(nS)+1 {
+		return nil, secErr("CSR start tables sized %d/%d/%d for %d objects, %d sources",
+			len(c.GroupStart), len(c.SrcStart), len(c.SpanStart), nO, nS)
+	}
+	nG := int32(len(c.GroupValue))
+	if len(c.GroupSrcStart) != int(nG)+1 {
+		return nil, secErr("GroupSrcStart sized %d for %d groups", len(c.GroupSrcStart), nG)
+	}
+	if len(c.SrcVal) != len(c.SrcObj) || len(c.SrcGroup) != len(c.SrcObj) {
+		return nil, secErr("source claim tables sized %d/%d/%d",
+			len(c.SrcObj), len(c.SrcVal), len(c.SrcGroup))
+	}
+	if len(c.SpanFirst) != len(c.SpanKey) || len(c.SpanLast) != len(c.SpanKey) {
+		return nil, secErr("span tables sized %d/%d/%d",
+			len(c.SpanKey), len(c.SpanFirst), len(c.SpanLast))
+	}
+	if len(c.PopCount) != len(c.PopKey) {
+		return nil, secErr("popularity tables sized %d/%d", len(c.PopKey), len(c.PopCount))
+	}
+	checks := []error{
+		checkCSR("GroupStart", c.GroupStart, 0, nG),
+		checkCSR("GroupSrcStart", c.GroupSrcStart, 0, int32(len(c.GroupSrc))),
+		checkCSR("SrcStart", c.SrcStart, 0, int32(len(c.SrcObj))),
+		checkCSR("SpanStart", c.SpanStart, 0, int32(len(c.SpanKey))),
+		checkRange("GroupValue", c.GroupValue, nV),
+		checkRange("GroupSrc", c.GroupSrc, nS),
+		checkRange("SrcObj", c.SrcObj, nO),
+		checkRange("SrcVal", c.SrcVal, nV),
+		checkRange("SrcGroup", c.SrcGroup, nG),
+	}
+	for _, e := range checks {
+		if e != nil {
+			return nil, e
+		}
+	}
+	for i := int32(0); i < nO; i++ {
+		if n := int(c.GroupStart[i+1] - c.GroupStart[i]); n > c.maxGroups {
+			c.maxGroups = n
+		}
+	}
+	return c, nil
+}
+
+// MappedBacked reports whether the compiled view reads from a mapped
+// snapshot (true) or heap-built interning tables (false).
+func (c *Compiled) MappedBacked() bool { return c.srcOff != nil }

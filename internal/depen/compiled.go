@@ -49,7 +49,7 @@ type depenScratch struct {
 func buildCandidates(c *dataset.Compiled, minShared int) ([]pairCand, overlaps) {
 	var cands []pairCand
 	var ov overlaps
-	nS := len(c.Sources)
+	nS := c.NumSources()
 	for i := 0; i < nS; i++ {
 		ai, ae := c.SrcStart[i], c.SrcStart[i+1]
 		for j := i + 1; j < nS; j++ {
@@ -142,7 +142,7 @@ func scoreObjectDiscounted(c *dataset.Compiled, oi int, weights, acc, depTab []f
 	haveDep bool, copyRate float64, sc *depenScratch) []float64 {
 	gs, ge := c.GroupStart[oi], c.GroupStart[oi+1]
 	scores := sc.ds.Scores(int(ge - gs))
-	nS := len(c.Sources)
+	nS := c.NumSources()
 	for k := range scores {
 		g := gs + int32(k)
 		srcs := c.GroupSrc[c.GroupSrcStart[g]:c.GroupSrcStart[g+1]]
@@ -189,7 +189,7 @@ func scorePairDense(c *dataset.Compiled, solver *truth.DenseSolver, cand pairCan
 		post[0], post[1], post[2] = 1, 0, 0
 	}
 	return Dependence{
-		Pair:   model.SourcePair{A: c.Sources[cand.a], B: c.Sources[cand.b]},
+		Pair:   model.SourcePair{A: c.Source(int(cand.a)), B: c.Source(int(cand.b))},
 		Prob:   post[1] + post[2],
 		ProbAB: post[1],
 		ProbBA: post[2],
@@ -204,7 +204,7 @@ func detectCompiled(c *dataset.Compiled, cfg Config) *Result {
 	solver := truth.NewDenseSolver(c, cfg.Truth)
 	cands, ov := buildCandidates(c, cfg.MinShared)
 
-	nS := len(c.Sources)
+	nS := c.NumSources()
 	acc := make([]float64, nS)
 	for i := range acc {
 		acc[i] = cfg.Truth.InitialAccuracy
@@ -235,7 +235,7 @@ func detectCompiled(c *dataset.Compiled, cfg Config) *Result {
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		// Truth step with dependence discounts from the previous round.
 		solver.FillWeights(acc, weights)
-		engine.ForNScratch(eng, len(c.Objects), newScratch, func(oi int, sc *depenScratch) {
+		engine.ForNScratch(eng, c.NumObjects(), newScratch, func(oi int, sc *depenScratch) {
 			row := solver.Row(probs, oi)
 			if kr := solver.KnownRow(oi); kr != nil {
 				copy(row, kr)
@@ -279,7 +279,7 @@ func detectCompiled(c *dataset.Compiled, cfg Config) *Result {
 		Converged: res.Converged,
 	}
 	res.Truth.PickChosen()
-	res.dir = newDirTableFor(c.Sources)
+	res.dir = newDirTableFor(c.SourceIDs())
 	for pi := range deps {
 		res.dir.set(cands[pi].a, cands[pi].b, deps[pi].ProbAB, deps[pi].ProbBA)
 	}

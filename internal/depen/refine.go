@@ -69,16 +69,16 @@ func Refine(d *dataset.Dataset, prev *Result, cfg Config) (*Result, error) {
 func refine(d *dataset.Dataset, prev *Result, cfg Config) *Result {
 	c := d.Compiled()
 	solver := truth.NewDenseSolver(c, cfg.Truth)
-	nS := len(c.Sources)
-	nO := len(c.Objects)
+	nS := c.NumSources()
+	nO := c.NumObjects()
 
 	// Seed accuracies and posteriors from the predecessor. Sources and value
 	// groups it never saw start at the prior (InitialAccuracy / zero rows);
 	// every such group belongs to a dirty object and is rescored in round 1
 	// before anything reads it.
 	acc := make([]float64, nS)
-	for i, s := range c.Sources {
-		if a, ok := prev.Truth.Accuracy[s]; ok {
+	for i := 0; i < nS; i++ {
+		if a, ok := prev.Truth.Accuracy[c.Source(i)]; ok {
 			acc[i] = a
 		} else {
 			acc[i] = cfg.Truth.InitialAccuracy
@@ -133,7 +133,7 @@ func refine(d *dataset.Dataset, prev *Result, cfg Config) *Result {
 	}
 	deps := make([]Dependence, len(cands))
 	for pi := range cands {
-		pair := model.SourcePair{A: c.Sources[cands[pi].a], B: c.Sources[cands[pi].b]}
+		pair := model.SourcePair{A: c.Source(int(cands[pi].a)), B: c.Source(int(cands[pi].b))}
 		if seed := seeds[pair]; seed != nil {
 			deps[pi] = *seed
 		}
@@ -209,7 +209,7 @@ func refine(d *dataset.Dataset, prev *Result, cfg Config) *Result {
 		Converged: res.Converged,
 	}
 	res.Truth.PickChosen()
-	res.dir = newDirTableFor(c.Sources)
+	res.dir = newDirTableFor(c.SourceIDs())
 	for k, i := range kept {
 		res.dir.set(keptA[k], keptB[k], prev.AllPairs[i].ProbAB, prev.AllPairs[i].ProbBA)
 	}
@@ -247,7 +247,7 @@ func refine(d *dataset.Dataset, prev *Result, cfg Config) *Result {
 func buildDirtyCandidates(c *dataset.Compiled, minShared int, dirtySrc []bool) ([]pairCand, overlaps) {
 	var cands []pairCand
 	var ov overlaps
-	nS := len(c.Sources)
+	nS := c.NumSources()
 	for i := 0; i < nS; i++ {
 		ai, ae := c.SrcStart[i], c.SrcStart[i+1]
 		for j := i + 1; j < nS; j++ {

@@ -231,18 +231,19 @@ func newResult(st Strategy) *Result {
 // and the object's winner is the group with the smallest first entry.
 func fillKeepFirst(res *Result, d *dataset.Dataset, eng engine.Config) error {
 	c := d.Compiled()
-	chosen := engine.MapN(eng, len(c.Objects), func(oi int) string {
+	chosen := engine.MapN(eng, c.NumObjects(), func(oi int) string {
 		best := ""
 		bestSrc := int32(-1)
 		for g := c.GroupStart[oi]; g < c.GroupStart[oi+1]; g++ {
 			first := c.GroupSrc[c.GroupSrcStart[g]]
 			if bestSrc < 0 || first < bestSrc {
-				bestSrc, best = first, c.Values[c.GroupValue[g]]
+				bestSrc, best = first, c.Value(int(c.GroupValue[g]))
 			}
 		}
 		return best
 	})
-	for oi, o := range c.Objects {
+	for oi := 0; oi < c.NumObjects(); oi++ {
+		o := c.Object(oi)
 		res.Chosen[o] = chosen[oi]
 		if err := res.Relation.Put(probdb.XTuple{
 			Object:       o,
@@ -259,8 +260,8 @@ func fillKeepFirst(res *Result, d *dataset.Dataset, eng engine.Config) error {
 // slots) and committed in canonical object order.
 func fillResolved(res *Result, d *dataset.Dataset, tr *truth.Result, cfg Config) error {
 	c := d.Compiled()
-	alts := engine.MapN(cfg.Engine(), len(c.Objects), func(oi int) []probdb.Alternative {
-		pv := tr.Probs[c.Objects[oi]]
+	alts := engine.MapN(cfg.Engine(), c.NumObjects(), func(oi int) []probdb.Alternative {
+		pv := tr.Probs[c.Object(oi)]
 		vals := make([]string, 0, len(pv))
 		for v := range pv {
 			vals = append(vals, v)
@@ -274,7 +275,8 @@ func fillResolved(res *Result, d *dataset.Dataset, tr *truth.Result, cfg Config)
 		}
 		return out
 	})
-	for oi, o := range c.Objects {
+	for oi := 0; oi < c.NumObjects(); oi++ {
+		o := c.Object(oi)
 		if err := res.Relation.Put(probdb.XTuple{Object: o, Alternatives: alts[oi]}); err != nil {
 			return err
 		}

@@ -99,9 +99,9 @@ func NewPlanner(d *dataset.Dataset, cfg Config) (*Planner, error) {
 		return nil, errors.New("queryans: dataset must be frozen")
 	}
 	c := d.Compiled()
-	acc := make([]float64, len(c.Sources))
-	for i, s := range c.Sources {
-		if a, ok := cfg.Accuracy[s]; ok {
+	acc := make([]float64, c.NumSources())
+	for i := range acc {
+		if a, ok := cfg.Accuracy[c.Source(i)]; ok {
 			acc[i] = a
 		} else {
 			acc[i] = cfg.DefaultAccuracy
@@ -112,7 +112,7 @@ func NewPlanner(d *dataset.Dataset, cfg Config) (*Planner, error) {
 	if depZero {
 		dep = func(a, b int32) float64 { return 0 }
 	} else {
-		fn, sources := cfg.Dependence, c.Sources
+		fn, sources := cfg.Dependence, c.SourceIDs()
 		dep = func(a, b int32) float64 { return fn(sources[a], sources[b]) }
 	}
 	p := newPlanner(c, cfg, acc, dep)
@@ -132,7 +132,27 @@ func NewPlannerDense(d *dataset.Dataset, cfg Config, acc, depTab []float64) (*Pl
 		return nil, errors.New("queryans: dataset must be frozen")
 	}
 	c := d.Compiled()
-	nS := len(c.Sources)
+	nS := c.NumSources()
+	if len(acc) != nS || len(depTab) != nS*nS {
+		return nil, errors.New("queryans: dense input sizes do not match the source count")
+	}
+	dep := func(a, b int32) float64 { return depTab[int(a)*nS+int(b)] }
+	p := newPlanner(c, cfg, acc, dep)
+	p.depTab = depTab
+	return p, nil
+}
+
+// NewPlannerFromCompiled is NewPlannerDense for callers that hold a
+// compiled view directly — a session serving straight from a mapped
+// snapshot, which has no materialized Dataset to hand over.
+func NewPlannerFromCompiled(c *dataset.Compiled, cfg Config, acc, depTab []float64) (*Planner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, errors.New("queryans: nil compiled view")
+	}
+	nS := c.NumSources()
 	if len(acc) != nS || len(depTab) != nS*nS {
 		return nil, errors.New("queryans: dense input sizes do not match the source count")
 	}
@@ -362,7 +382,7 @@ func (p *Planner) Answer(query []model.ObjectID) (*Result, error) {
 	cfg := p.cfg
 	eng := cfg.Engine()
 	nQ := len(query)
-	nS := len(c.Sources)
+	nS := c.NumSources()
 
 	sc, _ := p.scratch.Get().(*planScratch)
 	if sc == nil {
@@ -670,7 +690,7 @@ func (p *Planner) Answer(query []model.ObjectID) (*Result, error) {
 			dst = make([]Answer, nQ)
 		}
 		copy(dst, sc.cur)
-		steps = append(steps, Step{Source: c.Sources[si], Gain: gain, Answers: dst})
+		steps = append(steps, Step{Source: c.Source(int(si)), Gain: gain, Answers: dst})
 		if cfg.StopProb > 0 && stable(dst, query, cfg.StopProb) {
 			break
 		}
@@ -682,7 +702,7 @@ func (p *Planner) Answer(query []model.ObjectID) (*Result, error) {
 	}
 	res.Probed = make([]model.SourceID, len(sc.probed))
 	for i, ci := range sc.probed {
-		res.Probed[i] = c.Sources[sc.candSrc[ci]]
+		res.Probed[i] = c.Source(int(sc.candSrc[ci]))
 	}
 	p.scratch.Put(sc)
 	return res, nil
@@ -817,8 +837,8 @@ func (p *Planner) answerSlot(sc *planScratch, slot int32, as *answerScratch) Ans
 		}
 	}
 	return Answer{
-		Object: p.c.Objects[sc.slots[slot]],
-		Value:  p.c.Values[sc.groupVi[gBase+bestK]],
+		Object: p.c.Object(int(sc.slots[slot])),
+		Value:  p.c.Value(int(sc.groupVi[gBase+bestK])),
 		Prob:   bestP,
 	}
 }

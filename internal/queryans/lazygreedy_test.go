@@ -175,15 +175,15 @@ func TestPlannerScratchReuseAcrossQueries(t *testing.T) {
 func TestDeriveMatchesDense(t *testing.T) {
 	d, cfg := goldenQueryWorld(t, 21)
 	c := d.Compiled()
-	nS := len(c.Sources)
+	nS := c.NumSources()
 	acc := make([]float64, nS)
-	for i, s := range c.Sources {
-		acc[i] = cfg.Accuracy[s]
+	for i := range acc {
+		acc[i] = cfg.Accuracy[c.Source(i)]
 	}
 	depTab := make([]float64, nS*nS)
-	for i := range c.Sources {
-		for j := range c.Sources {
-			depTab[i*nS+j] = cfg.Dependence(c.Sources[i], c.Sources[j])
+	for i := 0; i < nS; i++ {
+		for j := 0; j < nS; j++ {
+			depTab[i*nS+j] = cfg.Dependence(c.Source(i), c.Source(j))
 		}
 	}
 	base := cfg

@@ -96,8 +96,8 @@ func BuildProfilesOpt(d *dataset.Dataset, dep *depen.Result,
 	if c == nil {
 		return buildProfilesMaps(d, dep, reports)
 	}
-	nS := len(c.Sources)
-	nObj := len(c.Objects)
+	nS := c.NumSources()
+	nObj := c.NumObjects()
 	// copyTab[i*nS+j] is P(i copies j) — the dense form of dep.CopyProb.
 	var copyTab []float64
 	if dep != nil {
@@ -113,7 +113,7 @@ func BuildProfilesOpt(d *dataset.Dataset, dep *depen.Result,
 		}
 	}
 	return engine.MapN(opt.Engine(), nS, func(si int) Profile {
-		s := c.Sources[si]
+		s := c.Source(si)
 		cov := 0.0
 		if nObj > 0 {
 			cov = float64(c.SrcStart[si+1]-c.SrcStart[si]) / float64(nObj)

@@ -173,3 +173,29 @@ func BenchmarkServerAnswerParallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkServerColdStart measures time-to-first-answer through the lazy
+// registry: each iteration registers a v2 snapshot directory (manifest scan
+// only) and serves one answer request, so the timed path is exactly what a
+// fresh server pays on the first query — mmap, section validation, planner
+// run — with no precompute and no decode loop.
+func BenchmarkServerColdStart(b *testing.B) {
+	dir, reqs, _ := snapDir(b, 1)
+	body := []byte(reqs["world0"])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg, err := LoadDir(dir, session.DefaultConfig(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := New(reg, Options{})
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/world0/answer", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}

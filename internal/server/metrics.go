@@ -108,6 +108,24 @@ func (m *metrics) write(w io.Writer) {
 	}
 }
 
+// writeResidencyMetrics renders the lazy-registry gauges: how many worlds
+// are resident, how many mmap'd bytes they hold, and the lifetime load and
+// eviction counts — what an operator watches to size -max-resident.
+func writeResidencyMetrics(w io.Writer, rs ResidencyStats) {
+	fmt.Fprintf(w, "# HELP currents_datasets_resident Sessions currently loaded in memory.\n")
+	fmt.Fprintf(w, "# TYPE currents_datasets_resident gauge\n")
+	fmt.Fprintf(w, "currents_datasets_resident %d\n", rs.Resident)
+	fmt.Fprintf(w, "# HELP currents_mapped_bytes Bytes of snapshot files currently memory-mapped.\n")
+	fmt.Fprintf(w, "# TYPE currents_mapped_bytes gauge\n")
+	fmt.Fprintf(w, "currents_mapped_bytes %d\n", rs.MappedBytes)
+	fmt.Fprintf(w, "# HELP currents_world_loads_total Lazy session loads since server start.\n")
+	fmt.Fprintf(w, "# TYPE currents_world_loads_total counter\n")
+	fmt.Fprintf(w, "currents_world_loads_total %d\n", rs.Loads)
+	fmt.Fprintf(w, "# HELP currents_world_evictions_total Sessions evicted under the resident bound since server start.\n")
+	fmt.Fprintf(w, "# TYPE currents_world_evictions_total counter\n")
+	fmt.Fprintf(w, "currents_world_evictions_total %d\n", rs.Evictions)
+}
+
 // writeDatasetMetrics renders the per-dataset lifecycle series (epoch
 // gauge, swap and append counters) from a registry snapshot taken at
 // scrape time.
@@ -126,5 +144,14 @@ func writeDatasetMetrics(w io.Writer, stats []DatasetStat) {
 	fmt.Fprintf(w, "# TYPE currents_dataset_appends_total counter\n")
 	for _, st := range stats {
 		fmt.Fprintf(w, "currents_dataset_appends_total{dataset=%q} %d\n", st.Name, st.Appends)
+	}
+	fmt.Fprintf(w, "# HELP currents_dataset_resident Whether each dataset's session is currently loaded (1) or lazy/evicted (0).\n")
+	fmt.Fprintf(w, "# TYPE currents_dataset_resident gauge\n")
+	for _, st := range stats {
+		v := 0
+		if st.Resident {
+			v = 1
+		}
+		fmt.Fprintf(w, "currents_dataset_resident{dataset=%q} %d\n", st.Name, v)
 	}
 }

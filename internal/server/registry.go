@@ -12,7 +12,9 @@
 package server
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -23,7 +25,20 @@ import (
 
 	"sourcecurrents/internal/dataset"
 	"sourcecurrents/internal/session"
+	"sourcecurrents/internal/snapio"
 )
+
+// ErrUnknownDataset reports a lookup for a name no entry is registered
+// under — the route layer's 404, distinct from a failed lazy load (500).
+var ErrUnknownDataset = errors.New("server: unknown dataset")
+
+// reloadSpec records how to (re)load an entry's session from disk: the lazy
+// manifest LoadDir registers instead of paying the load up front, and what
+// eviction falls back on to bring an idle world back.
+type reloadSpec struct {
+	path string
+	cfg  session.Config
+}
 
 // entry is one registered dataset: the current session, its epoch, and the
 // write-side bookkeeping. The session pointer and epoch are guarded by the
@@ -31,9 +46,21 @@ import (
 // holding the read lock always observes a matching pair). updateMu
 // serializes Update callers per dataset — successor construction can take
 // milliseconds and must not hold the registry lock.
+//
+// sess == nil means the entry is not resident: a lazy manifest not yet
+// loaded, or a world evicted under -max-resident. spec then says how to
+// load it; loadMu makes concurrent first requests load it exactly once.
+// pins counts in-flight requests holding the current session (incremented
+// under the registry read lock, checked by eviction under the write lock,
+// so an eviction never unmaps a session a request still reads).
 type entry struct {
 	sess     *session.Session
 	epoch    uint64
+	spec     *reloadSpec
+	loaded   bool // epoch has been initialized from a load or Register
+	loadMu   sync.Mutex
+	pins     atomic.Int64
+	lastUsed atomic.Int64
 	updateMu sync.Mutex
 	swaps    atomic.Int64
 	appends  atomic.Int64
@@ -43,11 +70,29 @@ type entry struct {
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
+	// maxResident bounds how many sessions stay loaded at once (0 = no
+	// bound). When a lazy load pushes the resident count over, the
+	// least-recently-used idle reloadable world is closed and unmapped.
+	maxResident int
+	useClock    atomic.Int64
+	loads       atomic.Int64
+	evictions   atomic.Int64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{entries: map[string]*entry{}}
+}
+
+// SetMaxResident bounds the number of concurrently resident sessions
+// (0 removes the bound) and evicts immediately if the bound is already
+// exceeded. Only idle (unpinned), never-swapped entries with a reload spec
+// are evictable; others stay resident regardless of the bound.
+func (r *Registry) SetMaxResident(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxResident = n
+	r.evictLocked(nil)
 }
 
 // validName reports whether a dataset name is URL-safe (letters, digits,
@@ -83,27 +128,158 @@ func (r *Registry) Register(name string, s *session.Session) error {
 	if _, ok := r.entries[name]; ok {
 		return fmt.Errorf("server: dataset %q already registered", name)
 	}
-	r.entries[name] = &entry{sess: s, epoch: uint64(s.Dataset().Epoch())}
+	r.entries[name] = &entry{sess: s, epoch: uint64(s.DatasetEpoch()), loaded: true}
 	return nil
 }
 
-// Get returns the session registered under name.
+// RegisterLazy records a dataset manifest without loading it: the snapshot
+// at path is validated only as far as its magic, and the session loads on
+// the first request that needs it (mmap for v2 containers, decode for v1
+// frames). This is the zero-cost cold-start path for multi-world servers.
+func (r *Registry) RegisterLazy(name, path string, cfg session.Config) error {
+	if !validName(name) {
+		return fmt.Errorf("server: invalid dataset name %q", name)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	var magic [snapio.MagicLen]byte
+	_, rerr := io.ReadFull(f, magic[:])
+	f.Close()
+	if rerr != nil {
+		return fmt.Errorf("server: %s: %w: %v", path, snapio.ErrTruncated, rerr)
+	}
+	if m := string(magic[:]); m != session.SnapshotMagic && m != session.SnapshotV2Magic {
+		return fmt.Errorf("server: %s: %w: not a session snapshot", path, snapio.ErrBadMagic)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("server: dataset %q already registered", name)
+	}
+	r.entries[name] = &entry{spec: &reloadSpec{path: path, cfg: cfg}}
+	return nil
+}
+
+// Acquire returns name's current session and epoch with the entry pinned:
+// the returned release func must be called once the request is done with
+// the session, after which eviction may unmap it. A non-resident entry
+// (lazy manifest or evicted world) loads first — concurrent acquirers of
+// the same world share one load via the entry's load mutex. Unknown names
+// return ErrUnknownDataset; a failed load returns its cause.
+func (r *Registry) Acquire(name string) (*session.Session, uint64, func(), error) {
+	for {
+		r.mu.RLock()
+		e, ok := r.entries[name]
+		if !ok {
+			r.mu.RUnlock()
+			return nil, 0, nil, fmt.Errorf("%w %q", ErrUnknownDataset, name)
+		}
+		if e.sess != nil {
+			// Pin under the read lock: eviction runs under the write lock
+			// and skips pinned entries, so this session stays mapped until
+			// release.
+			e.pins.Add(1)
+			e.lastUsed.Store(r.useClock.Add(1))
+			s, epoch := e.sess, e.epoch
+			r.mu.RUnlock()
+			var once sync.Once
+			return s, epoch, func() { once.Do(func() { e.pins.Add(-1) }) }, nil
+		}
+		r.mu.RUnlock()
+		if err := r.load(e); err != nil {
+			return nil, 0, nil, err
+		}
+	}
+}
+
+// load brings a non-resident entry's session into memory from its reload
+// spec. The load itself runs without the registry lock (it can take
+// milliseconds); installation takes the write lock and triggers eviction
+// if the resident bound is now exceeded.
+func (r *Registry) load(e *entry) error {
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	r.mu.RLock()
+	resident := e.sess != nil
+	r.mu.RUnlock()
+	if resident {
+		return nil // another acquirer loaded it while we waited
+	}
+	if e.spec == nil {
+		return fmt.Errorf("server: dataset has no snapshot to reload from")
+	}
+	s, err := session.LoadSnapshotFile(e.spec.path, e.spec.cfg)
+	if err != nil {
+		return fmt.Errorf("server: load %s: %w", e.spec.path, err)
+	}
+	r.mu.Lock()
+	e.sess = s
+	if !e.loaded {
+		e.epoch = uint64(s.DatasetEpoch())
+		e.loaded = true
+	}
+	r.loads.Add(1)
+	r.evictLocked(e)
+	r.mu.Unlock()
+	return nil
+}
+
+// evictLocked closes least-recently-used sessions until the resident count
+// fits maxResident. Callers hold the write lock. Only entries that are
+// unpinned, never swapped (their serving state is exactly the snapshot on
+// disk) and reloadable are candidates; keep, the entry that triggered the
+// eviction, is never chosen even before its acquirer pins it.
+func (r *Registry) evictLocked(keep *entry) {
+	if r.maxResident <= 0 {
+		return
+	}
+	for {
+		resident := 0
+		var victim *entry
+		for _, e := range r.entries {
+			if e.sess == nil {
+				continue
+			}
+			resident++
+			if e == keep || e.spec == nil || e.swaps.Load() != 0 || e.pins.Load() != 0 {
+				continue
+			}
+			if victim == nil || e.lastUsed.Load() < victim.lastUsed.Load() {
+				victim = e
+			}
+		}
+		if resident <= r.maxResident || victim == nil {
+			return
+		}
+		_ = victim.sess.Close()
+		victim.sess = nil
+		r.evictions.Add(1)
+	}
+}
+
+// Get returns the session registered under name, loading it first if it is
+// not resident. Callers that serve requests under an eviction bound should
+// use Acquire instead — Get does not pin, so the session may be unmapped
+// while still in use.
 func (r *Registry) Get(name string) (*session.Session, bool) {
 	s, _, ok := r.GetWithEpoch(name)
 	return s, ok
 }
 
 // GetWithEpoch returns the session registered under name together with its
-// current epoch. The pair is read atomically: a session and an epoch
-// returned together always belong to the same generation.
+// current epoch, loading non-resident entries first. The pair is read
+// atomically: a session and an epoch returned together always belong to
+// the same generation. It reports false for unknown names and for entries
+// whose lazy load fails (Acquire surfaces the cause).
 func (r *Registry) GetWithEpoch(name string) (*session.Session, uint64, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	e, ok := r.entries[name]
-	if !ok {
+	s, epoch, release, err := r.Acquire(name)
+	if err != nil {
 		return nil, 0, false
 	}
-	return e.sess, e.epoch, true
+	release()
+	return s, epoch, true
 }
 
 // Swap atomically replaces name's session with next and advances the
@@ -141,9 +317,14 @@ func (r *Registry) Update(name string, fn func(cur *session.Session) (*session.S
 	}
 	e.updateMu.Lock()
 	defer e.updateMu.Unlock()
-	r.mu.RLock()
-	cur := e.sess
-	r.mu.RUnlock()
+	// Acquire (rather than a bare read) both loads a non-resident world and
+	// pins it for the duration of fn, so eviction cannot unmap the session
+	// an append is reading from.
+	cur, _, release, err := r.Acquire(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer release()
 	next, err := fn(cur)
 	if err != nil {
 		return nil, 0, err
@@ -162,6 +343,11 @@ type DatasetStat struct {
 	Epoch   uint64
 	Swaps   int64
 	Appends int64
+	// Resident reports whether the session is currently loaded;
+	// MappedBytes is the size of its mmap'd snapshot (0 for heap-backed
+	// sessions and non-resident entries).
+	Resident    bool
+	MappedBytes int64
 }
 
 // Stats returns per-dataset lifecycle counters, sorted by name.
@@ -170,15 +356,44 @@ func (r *Registry) Stats() []DatasetStat {
 	defer r.mu.RUnlock()
 	out := make([]DatasetStat, 0, len(r.entries))
 	for name, e := range r.entries {
-		out = append(out, DatasetStat{
-			Name:    name,
-			Epoch:   e.epoch,
-			Swaps:   e.swaps.Load(),
-			Appends: e.appends.Load(),
-		})
+		st := DatasetStat{
+			Name:     name,
+			Epoch:    e.epoch,
+			Swaps:    e.swaps.Load(),
+			Appends:  e.appends.Load(),
+			Resident: e.sess != nil,
+		}
+		if e.sess != nil {
+			st.MappedBytes = e.sess.MappedBytes()
+		}
+		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// ResidencyStats aggregates the lazy-registry gauges for /metrics:
+// currently resident sessions, total mmap'd bytes across them, and the
+// lifetime load and eviction counts.
+type ResidencyStats struct {
+	Resident    int
+	MappedBytes int64
+	Loads       int64
+	Evictions   int64
+}
+
+// Residency returns the registry-wide residency gauges.
+func (r *Registry) Residency() ResidencyStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rs := ResidencyStats{Loads: r.loads.Load(), Evictions: r.evictions.Load()}
+	for _, e := range r.entries {
+		if e.sess != nil {
+			rs.Resident++
+			rs.MappedBytes += e.sess.MappedBytes()
+		}
+	}
+	return rs
 }
 
 // Names returns the registered dataset names, sorted.
@@ -240,16 +455,14 @@ func LoadDir(dir string, cfg session.Config, logf func(format string, args ...an
 		var s *session.Session
 		switch ext {
 		case ".snap":
-			f, err := os.Open(path)
-			if err != nil {
+			// Snapshots register as lazy manifests: the magic is checked now,
+			// the session loads (mmap for v2) on the first request that needs
+			// it. A directory of N worlds cold-starts in O(N) stat calls.
+			if err := reg.RegisterLazy(name, path, cfg); err != nil {
 				return nil, err
 			}
-			s, err = session.LoadSnapshot(f, cfg)
-			f.Close()
-			if err != nil {
-				return nil, fmt.Errorf("server: load %s: %w", path, err)
-			}
-			logf("loaded %q from snapshot %s", name, e.Name())
+			logf("registered %q from snapshot %s (loads on first request)", name, e.Name())
+			continue
 		case ".csv":
 			if hasSnap[name] {
 				logf("skipping %s: %q is served from its snapshot", e.Name(), name)

@@ -222,6 +222,7 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) (string, response
 		var sb strings.Builder
 		s.met.write(&sb)
 		s.cache.writeMetrics(&sb)
+		writeResidencyMetrics(&sb, s.reg.Residency())
 		writeDatasetMetrics(&sb, s.reg.Stats())
 		return "metrics", response{
 			status:      http.StatusOK,
@@ -240,11 +241,18 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) (string, response
 		return "other", jsonResponse(http.StatusNotFound,
 			ErrorResponse{Error: "not found: want /v1/{dataset}/{answer|fuse|recommend|link|accuracy}"})
 	}
-	sess, epoch, ok := s.reg.GetWithEpoch(name)
-	if !ok {
+	// Acquire pins the session for the request's lifetime: a lazy world
+	// loads on this first touch, and eviction under -max-resident cannot
+	// unmap the snapshot while any request still reads from it.
+	sess, epoch, release, err := s.reg.Acquire(name)
+	if errors.Is(err, ErrUnknownDataset) {
 		return "other", jsonResponse(http.StatusNotFound,
 			ErrorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
 	}
+	if err != nil {
+		return "other", errResponse(err)
+	}
+	defer release()
 
 	switch op {
 	case "answer":

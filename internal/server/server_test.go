@@ -429,13 +429,26 @@ func TestLoadDir(t *testing.T) {
 		t.Fatal("snapshot-loaded and csv-built sessions answer differently")
 	}
 
-	// Corrupt snapshot fails the whole load with a descriptive error.
+	// A corrupt snapshot with a valid magic registers lazily (LoadDir only
+	// sniffs the header) and fails with a descriptive error on first
+	// acquisition; a wrong magic fails LoadDir itself.
 	bad := t.TempDir()
 	if err := os.WriteFile(filepath.Join(bad, "broken.snap"), []byte("SCDSSESSgarbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadDir(bad, session.DefaultConfig(), nil); err == nil {
-		t.Fatal("corrupt snapshot accepted")
+	badReg, err := LoadDir(bad, session.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := badReg.Acquire("broken"); err == nil {
+		t.Fatal("corrupt snapshot served")
+	}
+	worse := t.TempDir()
+	if err := os.WriteFile(filepath.Join(worse, "nonsense.snap"), []byte("NOTASNAPfile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(worse, session.DefaultConfig(), nil); err == nil {
+		t.Fatal("non-snapshot file accepted")
 	}
 	// Empty dir errors.
 	if _, err := LoadDir(t.TempDir(), session.DefaultConfig(), nil); err == nil {

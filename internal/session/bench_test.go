@@ -1,0 +1,83 @@
+package session
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sourcecurrents/internal/synth"
+)
+
+// benchWorld builds the acceptance-bar serving world: 500 independent
+// sources plus 50 copiers over 30 objects — the shape TestSnapshotLoadBeatsBuild
+// and the cold-start acceptance numbers are quoted at.
+func benchWorld(b *testing.B) *Session {
+	b.Helper()
+	accs := make([]float64, 500)
+	for i := range accs {
+		accs[i] = 0.55 + 0.4*float64(i%9)/8
+	}
+	copiers := make([]synth.CopierSpec, 50)
+	for i := range copiers {
+		copiers[i] = synth.CopierSpec{MasterIndex: i, CopyRate: 0.8, OwnAcc: 0.6}
+	}
+	sw, err := synth.GenerateSnapshot(synth.SnapshotConfig{
+		Seed:           37,
+		NObjects:       30,
+		IndependentAcc: accs,
+		Copiers:        copiers,
+		FalsePool:      5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(sw.Dataset, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkSnapshotLoadV1 measures the v1 decoding loader at the
+// 500-source acceptance shape: every table re-allocated and parsed on each
+// load.
+func BenchmarkSnapshotLoadV1(b *testing.B) {
+	s := benchWorld(b)
+	raw := snapshotBytes(b, s)
+	cfg := DefaultConfig()
+	b.Run("sources=500", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := LoadSnapshot(bytes.NewReader(raw), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotLoadV2 measures the mmap-backed v2 loader on the same
+// world: header validation plus section casts, no decode loop. The
+// acceptance bar is ≥5x faster than the v1 decode with ≤100 allocs/op.
+func BenchmarkSnapshotLoadV2(b *testing.B) {
+	s := benchWorld(b)
+	var buf bytes.Buffer
+	if err := s.WriteSnapshotV2(&buf); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "world.scs2")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	b.Run("sources=500", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v2, err := LoadSnapshotFile(path, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v2.Close()
+		}
+	})
+}

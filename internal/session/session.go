@@ -33,6 +33,7 @@ import (
 	"sourcecurrents/internal/model"
 	"sourcecurrents/internal/queryans"
 	"sourcecurrents/internal/recommend"
+	"sourcecurrents/internal/snapio"
 	"sourcecurrents/internal/temporal"
 )
 
@@ -92,19 +93,47 @@ func (c Config) Validate() error {
 
 // Session is the reusable serving state: built once, read-only afterwards,
 // safe for concurrent calls.
+//
+// Two backends exist. An eager session (New, Append, LoadSnapshot) holds a
+// materialized Dataset and discovery result from the start. A mapped
+// session (snapshot v2) serves AnswerObjects straight from the mapped
+// compiled tables and lazily decodes the dataset and discovery result — on
+// the heap, never aliasing the mapping — the first time a call needs them
+// (Fuse, Link, Profiles, Append, Dataset, Dependence, Accuracy).
 type Session struct {
 	d   *dataset.Dataset
 	cfg Config
 	dep *depen.Result
 	// acc is the dense per-source accuracy vector and depTab the flat
 	// source×source total dependence posterior, both in compiled source
-	// order.
+	// order. For mapped sessions both are zero-copy views into the mapping.
 	acc     []float64
 	depTab  []float64
 	planner *queryans.Planner
 
+	// Mapped-backend state; all nil/zero for eager sessions.
+	mapped    *snapio.Mapped
+	mc        *dataset.Compiled
+	dsEpoch   int
+	rounds    int
+	converged bool
+	matOnce   sync.Once
+	matErr    error
+
 	profilesOnce sync.Once
 	profiles     []recommend.Profile
+}
+
+// materialize decodes a mapped session's cold sections (embedded dataset
+// snapshot, truth posteriors, pair verdicts) into heap state on first use.
+// It is a no-op for eager sessions. Everything it builds is copied off the
+// mapping, so materialized state survives Close.
+func (s *Session) materialize() error {
+	if s.mapped == nil {
+		return nil
+	}
+	s.matOnce.Do(func() { s.matErr = s.materializeMapped() })
+	return s.matErr
 }
 
 // New builds a Session from a frozen dataset: compiles the columnar index,
@@ -134,7 +163,7 @@ func New(d *dataset.Dataset, cfg Config) (*Session, error) {
 // validated, and d frozen and non-empty.
 func newFromDep(d *dataset.Dataset, cfg Config, dep *depen.Result) (*Session, error) {
 	c := d.Compiled()
-	nS := len(c.Sources)
+	nS := c.NumSources()
 	s := &Session{
 		d:      d,
 		cfg:    cfg,
@@ -142,13 +171,13 @@ func newFromDep(d *dataset.Dataset, cfg Config, dep *depen.Result) (*Session, er
 		acc:    make([]float64, nS),
 		depTab: make([]float64, nS*nS),
 	}
-	for i, src := range c.Sources {
-		s.acc[i] = dep.Truth.Accuracy[src]
+	for i := 0; i < nS; i++ {
+		s.acc[i] = dep.Truth.Accuracy[c.Source(i)]
 	}
 	// FillTotals copies the result's dense directional table straight into
 	// the serving table; the AllPairs walk below is the fallback for results
 	// whose lookup table covers a different source list.
-	if !dep.FillTotals(c.Sources, s.depTab) {
+	if !dep.FillTotals(c.SourceIDs(), s.depTab) {
 		for _, pd := range dep.AllPairs {
 			ai, aok := c.SourceIndex(pd.Pair.A)
 			bi, bok := c.SourceIndex(pd.Pair.B)
@@ -179,6 +208,9 @@ func newFromDep(d *dataset.Dataset, cfg Config, dep *depen.Result) (*Session, er
 // dataset, because a from-scratch build replays the same log with the same
 // refinement passes (the equivalence the append suites pin).
 func (s *Session) Append(batch []model.Claim) (*Session, error) {
+	if err := s.materialize(); err != nil {
+		return nil, err
+	}
 	d2, err := s.d.Append(batch)
 	if err != nil {
 		return nil, err
@@ -190,16 +222,65 @@ func (s *Session) Append(batch []model.Claim) (*Session, error) {
 	return newFromDep(d2, s.cfg, dep2)
 }
 
-// Dataset returns the served dataset.
-func (s *Session) Dataset() *dataset.Dataset { return s.d }
+// Dataset returns the served dataset, materializing it first for a mapped
+// session. It returns nil if materialization fails (corrupt cold sections);
+// error-returning entry points surface the cause.
+func (s *Session) Dataset() *dataset.Dataset {
+	if err := s.materialize(); err != nil {
+		return nil
+	}
+	return s.d
+}
 
-// Dependence returns the cached discovery result. Callers must treat it as
+// Dependence returns the cached discovery result, materializing it first
+// for a mapped session (nil on materialization failure). Callers must treat
+// it as read-only.
+func (s *Session) Dependence() *depen.Result {
+	if err := s.materialize(); err != nil {
+		return nil
+	}
+	return s.dep
+}
+
+// Accuracy returns the cached per-source accuracies, materializing first
+// for a mapped session (nil on failure). Callers must treat the map as
 // read-only.
-func (s *Session) Dependence() *depen.Result { return s.dep }
+func (s *Session) Accuracy() map[model.SourceID]float64 {
+	if err := s.materialize(); err != nil {
+		return nil
+	}
+	return s.dep.Truth.Accuracy
+}
 
-// Accuracy returns the cached per-source accuracies. Callers must treat the
-// map as read-only.
-func (s *Session) Accuracy() map[model.SourceID]float64 { return s.dep.Truth.Accuracy }
+// DatasetEpoch returns the served dataset's append epoch without forcing a
+// mapped session to materialize — servers key caches on it.
+func (s *Session) DatasetEpoch() int {
+	if s.mapped != nil {
+		return s.dsEpoch
+	}
+	return s.d.Epoch()
+}
+
+// MappedBytes returns the size of the mapped snapshot backing this session,
+// or 0 for an eager session — the /metrics mapped-bytes gauge.
+func (s *Session) MappedBytes() int64 {
+	if s.mapped == nil {
+		return 0
+	}
+	return s.mapped.Size()
+}
+
+// Close releases a mapped session's snapshot mapping; eager sessions are
+// untouched (nil error). After Close no serving call may run: the planner
+// and any strings previously returned by answers alias the mapping. Callers
+// (the server registry) guarantee quiescence via refcounting before
+// closing.
+func (s *Session) Close() error {
+	if s.mapped == nil {
+		return nil
+	}
+	return s.mapped.Close()
+}
 
 // QueryConfig returns the session's query-planner template — the base
 // configuration per-request overrides start from (see AnswerObjectsWith).
@@ -238,6 +319,9 @@ func (s *Session) AnswerObjectsWith(query []model.ObjectID, qcfg queryans.Config
 // but the embedded Truth/Depen fields alias the session's shared cache and
 // must be treated as read-only.
 func (s *Session) Fuse() (*fusion.Result, error) {
+	if err := s.materialize(); err != nil {
+		return nil, err
+	}
 	if s.cfg.Fusion.Strategy == fusion.DependenceAware {
 		return fusion.FuseWith(s.d, s.cfg.Fusion, s.dep)
 	}
@@ -249,6 +333,9 @@ func (s *Session) Fuse() (*fusion.Result, error) {
 // session's cached state is not consulted (linkage precedes discovery in
 // the §4 pipeline), but serving it here keeps the one-stop contract.
 func (s *Session) Link(cfg linkage.Config) (*linkage.Result, error) {
+	if err := s.materialize(); err != nil {
+		return nil, err
+	}
 	return linkage.Link(s.d, cfg)
 }
 
@@ -256,6 +343,9 @@ func (s *Session) Link(cfg linkage.Config) (*linkage.Result, error) {
 // from the session's discovery result (and configured temporal reports).
 // Callers must treat the slice as read-only.
 func (s *Session) Profiles() []recommend.Profile {
+	if err := s.materialize(); err != nil {
+		return nil
+	}
 	s.profilesOnce.Do(func() {
 		s.profiles = recommend.BuildProfilesOpt(s.d, s.dep, s.cfg.Reports,
 			recommend.Options{Parallelism: s.cfg.Parallelism})

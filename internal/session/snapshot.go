@@ -49,6 +49,9 @@ const inlineValue = ^uint32(0)
 
 // WriteSnapshot encodes the session's dataset and cached precompute to w.
 func (s *Session) WriteSnapshot(w io.Writer) error {
+	if err := s.materialize(); err != nil {
+		return err
+	}
 	var ds bytes.Buffer
 	if err := s.d.WriteSnapshot(&ds); err != nil {
 		return err
@@ -65,11 +68,23 @@ func (s *Session) WriteSnapshot(w io.Writer) error {
 	tr := s.dep.Truth
 	enc.U32(uint32(tr.Rounds))
 	enc.Bool(tr.Converged)
-	for _, src := range c.Sources {
-		enc.F64(tr.Accuracy[src])
+	for i := 0; i < c.NumSources(); i++ {
+		enc.F64(tr.Accuracy[c.Source(i)])
 	}
-	for _, o := range c.Objects {
-		pv := tr.Probs[o]
+	encodeTruthProbs(&enc, c, tr)
+	if err := encodePairs(&enc, c, s.dep.AllPairs); err != nil {
+		return err
+	}
+	return enc.Frame(w, SnapshotMagic, SnapshotVersion)
+}
+
+// encodeTruthProbs appends the per-object posterior entries: objects in
+// compiled order, values in sorted order — the canonical iteration
+// everywhere else. Shared verbatim by the v1 payload and the v2 TRUTH
+// section, so both decode to identical state.
+func encodeTruthProbs(enc *snapio.Writer, c *dataset.Compiled, tr *truth.Result) {
+	for oi := 0; oi < c.NumObjects(); oi++ {
+		pv := tr.Probs[c.Object(oi)]
 		vals := make([]string, 0, len(pv))
 		for v := range pv {
 			vals = append(vals, v)
@@ -86,11 +101,14 @@ func (s *Session) WriteSnapshot(w io.Writer) error {
 			enc.F64(pv[v])
 		}
 	}
+}
 
-	// Every analyzed pair's final verdict, in AllPairs (posterior-sorted)
-	// order; sources as compiled indices.
-	enc.U32(uint32(len(s.dep.AllPairs)))
-	for _, pd := range s.dep.AllPairs {
+// encodePairs appends every analyzed pair's final verdict, in AllPairs
+// (posterior-sorted) order; sources as compiled indices. Shared by the v1
+// payload and the v2 PAIRS section.
+func encodePairs(enc *snapio.Writer, c *dataset.Compiled, allPairs []depen.Dependence) error {
+	enc.U32(uint32(len(allPairs)))
+	for _, pd := range allPairs {
 		ai, aok := c.SourceIndex(pd.Pair.A)
 		bi, bok := c.SourceIndex(pd.Pair.B)
 		if !aok || !bok {
@@ -107,7 +125,7 @@ func (s *Session) WriteSnapshot(w io.Writer) error {
 		enc.F64(pd.KF)
 		enc.F64(pd.KD)
 	}
-	return enc.Frame(w, SnapshotMagic, SnapshotVersion)
+	return nil
 }
 
 // fingerprintField is one config field captured at snapshot time.
@@ -258,12 +276,30 @@ func LoadSnapshot(r io.Reader, cfg Config) (*Session, error) {
 
 	rounds := int(dec.U32())
 	converged := dec.Bool()
-	acc := make(map[model.SourceID]float64, len(c.Sources))
-	for _, src := range c.Sources {
-		acc[src] = dec.F64()
+	acc := make(map[model.SourceID]float64, c.NumSources())
+	for i := 0; i < c.NumSources(); i++ {
+		acc[c.Source(i)] = dec.F64()
 	}
-	probs := make(map[model.ObjectID]map[string]float64, len(c.Objects))
-	for _, o := range c.Objects {
+	probs, err := decodeTruthProbs(dec, c)
+	if err != nil {
+		return nil, err
+	}
+	pairs, pairA, pairB := decodePairs(dec, c)
+	if err := dec.Finish(); err != nil {
+		return nil, fmt.Errorf("session: snapshot: %w", err)
+	}
+
+	dep := assembleDep(c, acc, probs, pairs, pairA, pairB,
+		cfg.Depen.DepThreshold, rounds, converged)
+	return newFromDep(d, cfg, dep)
+}
+
+// decodeTruthProbs is the inverse of encodeTruthProbs: it rebuilds the
+// posterior maps against c, copying every value string onto the heap (the
+// decoder never returns views into its input).
+func decodeTruthProbs(dec *snapio.Reader, c *dataset.Compiled) (map[model.ObjectID]map[string]float64, error) {
+	probs := make(map[model.ObjectID]map[string]float64, c.NumObjects())
+	for oi := 0; oi < c.NumObjects(); oi++ {
 		n := dec.Count(12)
 		pv := make(map[string]float64, n)
 		for k := 0; k < n; k++ {
@@ -271,8 +307,8 @@ func LoadSnapshot(r io.Reader, cfg Config) (*Session, error) {
 			var v string
 			if ref == inlineValue {
 				v = dec.Str()
-			} else if int(ref) < len(c.Values) {
-				v = c.Values[ref]
+			} else if int(ref) < c.NumValues() {
+				v = c.Value(int(ref))
 			} else if dec.Err() == nil {
 				return nil, fmt.Errorf("session: snapshot: %w: value index %d out of range", snapio.ErrCorrupt, ref)
 			}
@@ -281,9 +317,14 @@ func LoadSnapshot(r io.Reader, cfg Config) (*Session, error) {
 		if dec.Err() != nil {
 			break
 		}
-		probs[o] = pv
+		probs[c.Object(oi)] = pv
 	}
+	return probs, nil
+}
 
+// decodePairs is the inverse of encodePairs. Decode errors latch in dec;
+// the caller's Finish surfaces them.
+func decodePairs(dec *snapio.Reader, c *dataset.Compiled) ([]depen.Dependence, []int32, []int32) {
 	nPairs := dec.Count(8 + 8*8)
 	pairs := make([]depen.Dependence, 0, nPairs)
 	pairA := make([]int32, 0, nPairs)
@@ -291,10 +332,10 @@ func LoadSnapshot(r io.Reader, cfg Config) (*Session, error) {
 	for k := 0; k < nPairs; k++ {
 		// Index latches on corruption and returns 0, so the slice reads are
 		// safe; the latched error is checked before the pair is kept.
-		ai := dec.Index(len(c.Sources))
-		bi := dec.Index(len(c.Sources))
+		ai := dec.Index(c.NumSources())
+		bi := dec.Index(c.NumSources())
 		pd := depen.Dependence{
-			Pair:   model.NewSourcePair(c.Sources[ai], c.Sources[bi]),
+			Pair:   model.NewSourcePair(c.Source(ai), c.Source(bi)),
 			Prob:   dec.F64(),
 			ProbAB: dec.F64(),
 			ProbBA: dec.F64(),
@@ -311,10 +352,15 @@ func LoadSnapshot(r io.Reader, cfg Config) (*Session, error) {
 		pairA = append(pairA, int32(ai))
 		pairB = append(pairB, int32(bi))
 	}
-	if err := dec.Finish(); err != nil {
-		return nil, fmt.Errorf("session: snapshot: %w", err)
-	}
+	return pairs, pairA, pairB
+}
 
+// assembleDep reconstitutes the discovery result from its decoded parts —
+// the shared tail of LoadSnapshot (v1) and lazy materialization (v2).
+func assembleDep(c *dataset.Compiled, acc map[model.SourceID]float64,
+	probs map[model.ObjectID]map[string]float64,
+	pairs []depen.Dependence, pairA, pairB []int32,
+	threshold float64, rounds int, converged bool) *depen.Result {
 	tr := &truth.Result{
 		Probs:     probs,
 		Accuracy:  acc,
@@ -322,7 +368,6 @@ func LoadSnapshot(r io.Reader, cfg Config) (*Session, error) {
 		Converged: converged,
 	}
 	tr.PickChosen()
-	dep := depen.ResultFromParts(tr, c.Sources, pairs, pairA, pairB,
-		cfg.Depen.DepThreshold, rounds, converged)
-	return newFromDep(d, cfg, dep)
+	return depen.ResultFromParts(tr, c.SourceIDs(), pairs, pairA, pairB,
+		threshold, rounds, converged)
 }

@@ -31,7 +31,7 @@ func scorePairCompiled(c *dataset.Compiled, i, j int, qCov []float64, cfg Config
 	sc *tempScratch) (Dependence, bool) {
 	ai, ae := c.SpanStart[i], c.SpanStart[i+1]
 	bi, be := c.SpanStart[j], c.SpanStart[j+1]
-	nS := len(c.Sources)
+	nS := c.NumSources()
 	denom := nS - 1
 	if denom < 1 {
 		denom = 1
@@ -103,7 +103,7 @@ func scorePairCompiled(c *dataset.Compiled, i, j int, qCov []float64, cfg Config
 		return Dependence{}, false
 	}
 	dep := Dependence{
-		Pair:   model.SourcePair{A: c.Sources[i], B: c.Sources[j]},
+		Pair:   model.SourcePair{A: c.Source(i), B: c.Source(j)},
 		Shared: matchCount,
 		AFirst: aFirst, BFirst: bFirst,
 		Rarity: raritySum,
@@ -139,7 +139,7 @@ func scorePairCompiled(c *dataset.Compiled, i, j int, qCov []float64, cfg Config
 
 // detectPairsCompiled is DetectPairs over the compiled index.
 func detectPairsCompiled(c *dataset.Compiled, cfg Config) *Result {
-	nS := len(c.Sources)
+	nS := c.NumSources()
 	// Global coverage per source: its share of the distinct (object, value)
 	// assertions seen anywhere.
 	union := len(c.PopKey)

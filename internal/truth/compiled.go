@@ -69,7 +69,7 @@ func (s *DenseSolver) buildKnown() {
 		return
 	}
 	c := s.c
-	s.known = make([]*knownOverride, len(c.Objects))
+	s.known = make([]*knownOverride, c.NumObjects())
 	conf := s.cfg.knownConfidence()
 	for o, want := range s.cfg.Known {
 		oi, ok := c.ObjectIndex(o)
@@ -106,7 +106,7 @@ func (s *DenseSolver) buildKnown() {
 			ov.extraVal = want
 			ov.extraP = conf
 			for k := 0; k < n; k++ {
-				if c.Values[c.GroupValue[gs+int32(k)]] < want {
+				if c.Value(int(c.GroupValue[gs+int32(k)])) < want {
 					ov.extraPos = k + 1
 				}
 			}
@@ -168,12 +168,12 @@ func (s *DenseSolver) FinishObject(oi int, scores, row []float64, sc *DenseScrat
 		adj := sc.adj[:len(scores)]
 		for k := range scores {
 			a := scores[k]
-			vk := c.Values[c.GroupValue[gs+int32(k)]]
+			vk := c.Value(int(c.GroupValue[gs+int32(k)]))
 			for u := range scores {
 				if u == k {
 					continue
 				}
-				sv := sim(vk, c.Values[c.GroupValue[gs+int32(u)]])
+				sv := sim(vk, c.Value(int(c.GroupValue[gs+int32(u)])))
 				if sv < 0 {
 					sv = 0
 				} else if sv > 1 {
@@ -207,7 +207,7 @@ func (s *DenseSolver) ClassMass(probs []float64, oi int, g int32) float64 {
 		ov = s.known[oi]
 	}
 	hasExtra := ov != nil && ov.hasExtra
-	v := c.Values[c.GroupValue[g]]
+	v := c.Value(int(c.GroupValue[g]))
 	var mass float64
 	addSim := func(u string, p float64) {
 		sv := sim(v, u)
@@ -226,7 +226,7 @@ func (s *DenseSolver) ClassMass(probs []float64, oi int, g int32) float64 {
 			mass += row[k]
 			continue
 		}
-		addSim(c.Values[c.GroupValue[gs+int32(k)]], row[k])
+		addSim(c.Value(int(c.GroupValue[gs+int32(k)])), row[k])
 	}
 	if hasExtra && ov.extraPos == len(row) {
 		addSim(ov.extraVal, ov.extraP)
@@ -242,7 +242,7 @@ func (s *DenseSolver) ClassMass(probs []float64, oi int, g int32) float64 {
 // object order (ascending).
 func (s *DenseSolver) UpdateAccuracy(eng engine.Config, probs, next []float64) {
 	c := s.c
-	engine.ForN(eng, len(c.Sources), func(si int) {
+	engine.ForN(eng, c.NumSources(), func(si int) {
 		start, end := c.SrcStart[si], c.SrcStart[si+1]
 		var sum float64
 		for k := start; k < end; k++ {
@@ -257,12 +257,13 @@ func (s *DenseSolver) UpdateAccuracy(eng engine.Config, probs, next []float64) {
 // including any Known-pinned values that are not observed candidates.
 func (s *DenseSolver) ProbsMap(probs []float64) map[model.ObjectID]map[string]float64 {
 	c := s.c
-	out := make(map[model.ObjectID]map[string]float64, len(c.Objects))
-	for oi, o := range c.Objects {
+	out := make(map[model.ObjectID]map[string]float64, c.NumObjects())
+	for oi := 0; oi < c.NumObjects(); oi++ {
+		o := c.Object(oi)
 		gs, ge := c.GroupStart[oi], c.GroupStart[oi+1]
 		pv := make(map[string]float64, int(ge-gs)+1)
 		for k := gs; k < ge; k++ {
-			pv[c.Values[c.GroupValue[k]]] = probs[k]
+			pv[c.Value(int(c.GroupValue[k]))] = probs[k]
 		}
 		if s.known != nil {
 			// ApplyKnown's key set is the observed candidates plus the
@@ -283,14 +284,14 @@ func (s *DenseSolver) ProbsMap(probs []float64) map[model.ObjectID]map[string]fl
 // only appended claims can introduce them.
 func (s *DenseSolver) FillProbs(probs []float64, m map[model.ObjectID]map[string]float64) {
 	c := s.c
-	for oi, o := range c.Objects {
-		pv := m[o]
+	for oi := 0; oi < c.NumObjects(); oi++ {
+		pv := m[c.Object(oi)]
 		if pv == nil {
 			continue
 		}
 		gs, ge := c.GroupStart[oi], c.GroupStart[oi+1]
 		for g := gs; g < ge; g++ {
-			if p, ok := pv[c.Values[c.GroupValue[g]]]; ok {
+			if p, ok := pv[c.Value(int(c.GroupValue[g]))]; ok {
 				probs[g] = p
 			}
 		}
@@ -301,7 +302,7 @@ func (s *DenseSolver) FillProbs(probs []float64, m map[model.ObjectID]map[string
 func (s *DenseSolver) AccuracyMap(acc []float64) map[model.SourceID]float64 {
 	out := make(map[model.SourceID]float64, len(acc))
 	for i, a := range acc {
-		out[s.c.Sources[i]] = a
+		out[s.c.Source(i)] = a
 	}
 	return out
 }
@@ -324,7 +325,7 @@ func MaxAccuracyDeltaVec(a, b []float64) float64 {
 // accuCompiled is Accu over the compiled index.
 func accuCompiled(c *dataset.Compiled, cfg Config) *Result {
 	solver := NewDenseSolver(c, cfg)
-	nS := len(c.Sources)
+	nS := c.NumSources()
 	acc := make([]float64, nS)
 	for i := range acc {
 		acc[i] = cfg.InitialAccuracy
@@ -336,7 +337,7 @@ func accuCompiled(c *dataset.Compiled, cfg Config) *Result {
 	res := &Result{}
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		solver.FillWeights(acc, weights)
-		engine.ForNScratch(eng, len(c.Objects), solver.NewScratch, func(oi int, sc *DenseScratch) {
+		engine.ForNScratch(eng, c.NumObjects(), solver.NewScratch, func(oi int, sc *DenseScratch) {
 			row := solver.Row(probs, oi)
 			if kr := solver.KnownRow(oi); kr != nil {
 				copy(row, kr)

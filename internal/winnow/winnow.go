@@ -70,8 +70,8 @@ func tokensOfCompiled(c *dataset.Compiled, si int) []string {
 	lo, hi := c.SrcStart[si], c.SrcStart[si+1]
 	toks := make([]string, 0, 3*(hi-lo))
 	for k := lo; k < hi; k++ {
-		o := c.Objects[c.SrcObj[k]]
-		toks = append(toks, o.Entity, o.Attribute, c.Values[c.SrcVal[k]])
+		o := c.Object(int(c.SrcObj[k]))
+		toks = append(toks, o.Entity, o.Attribute, c.Value(int(c.SrcVal[k])))
 	}
 	return toks
 }
@@ -173,18 +173,18 @@ func DetectPairs(d *dataset.Dataset, cfg Config, threshold float64) ([]Pair, err
 		return detectPairsMaps(d, cfg, threshold), nil
 	}
 	eng := cfg.Engine()
-	fps := engine.MapN(eng, len(c.Sources), func(si int) Fingerprint {
+	fps := engine.MapN(eng, c.NumSources(), func(si int) Fingerprint {
 		return winnowHashes(hashKGrams(tokensOfCompiled(c, si), cfg.K), cfg.W)
 	})
-	sims := engine.MapPairs(eng, len(c.Sources), func(i, j int) float64 {
+	sims := engine.MapPairs(eng, c.NumSources(), func(i, j int) float64 {
 		return Similarity(fps[i], fps[j])
 	})
 	var out []Pair
 	k := 0
-	for i := 0; i < len(c.Sources); i++ {
-		for j := i + 1; j < len(c.Sources); j++ {
+	for i := 0; i < c.NumSources(); i++ {
+		for j := i + 1; j < c.NumSources(); j++ {
 			if sims[k] >= threshold {
-				out = append(out, Pair{Pair: model.NewSourcePair(c.Sources[i], c.Sources[j]), Sim: sims[k]})
+				out = append(out, Pair{Pair: model.NewSourcePair(c.Source(i), c.Source(j)), Sim: sims[k]})
 			}
 			k++
 		}

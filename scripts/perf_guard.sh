@@ -22,9 +22,11 @@ if [ ! -s "$OUT" ]; then
   TMP="$(mktemp)"
   trap 'rm -f "$TMP"' EXIT
   go test -short -bench '^(BenchmarkPlannerAnswer|BenchmarkSessionAnswer|BenchmarkSessionFuse|BenchmarkSessionAppend)$' \
-    -benchtime 2x -run '^$' . > "$TMP"
-  go test -short -bench '^(BenchmarkServerAnswer|BenchmarkServerAnswerCached)$' \
-    -benchtime 5x -run '^$' ./internal/server/ >> "$TMP"
+    -benchtime 2x -benchmem -run '^$' . > "$TMP"
+  go test -short -bench '^(BenchmarkServerAnswer|BenchmarkServerAnswerCached|BenchmarkServerColdStart)$' \
+    -benchtime 5x -benchmem -run '^$' ./internal/server/ >> "$TMP"
+  go test -short -bench '^BenchmarkSnapshotLoadV[12]$' \
+    -benchtime 2x -benchmem -run '^$' ./internal/session/ >> "$TMP"
   mv "$TMP" "$OUT"
   trap - EXIT
 fi

@@ -351,6 +351,9 @@ func NewSession(d *Dataset, cfg SessionConfig) (*Session, error) {
 // (dense accuracy vector, truth posteriors, the full source×source
 // dependence table), so a query server cold-starts by decoding instead of
 // re-running discovery — see Session.WriteSnapshot and LoadSession.
+// Session.WriteSnapshotV2 writes the mmap-friendly v2 section container
+// instead: every dense table in its exact in-memory layout, so
+// LoadSessionFile maps the file and serves from it without a decode loop.
 // Dataset.WriteSnapshot / ReadDatasetSnapshot are the dataset-only form.
 
 // LoadSession decodes a session snapshot written by Session.WriteSnapshot
@@ -361,6 +364,14 @@ func NewSession(d *Dataset, cfg SessionConfig) (*Session, error) {
 // of.
 func LoadSession(r io.Reader, cfg SessionConfig) (*Session, error) {
 	return session.LoadSnapshot(r, cfg)
+}
+
+// LoadSessionFile opens a session snapshot from disk, sniffing the format:
+// v2 files are memory-mapped and served zero-copy (call Close on the
+// session to unmap when done with it), v1 files fall back to the decoding
+// loader. Answers are bit-identical across both formats.
+func LoadSessionFile(path string, cfg SessionConfig) (*Session, error) {
+	return session.LoadSnapshotFile(path, cfg)
 }
 
 // ReadDatasetSnapshot decodes a dataset snapshot written by
