@@ -7,10 +7,12 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	netpprof "net/http/pprof"
 	"os"
@@ -100,11 +102,12 @@ func runServer(args []string) error {
 	persist := fs.String("persist-appends", "", "directory for append-log segments (\"\" = memory-only appends; \"load\" = the -load directory)")
 	compactEvery := fs.Int("compact-every", server.DefaultCompactEvery, "compact a dataset's log after this many segments (<0 disables)")
 	maxResident := fs.Int("max-resident", 0, "max sessions resident at once; idle worlds are unmapped LRU-first (0 = unbounded)")
+	retainEpochs := fs.Int("retain-epochs", 4, "historical epochs addressable via ?as_of= behind each dataset's current one (0 = none, -1 = all)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	prof := profiling.Register(fs)
 	_ = fs.Parse(args)
 	if *load == "" || fs.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: currents server -addr :8080 -load DIR [-parallelism N] [-cache-size N] [-cache-ttl D] [-persist-appends DIR] [-compact-every N] [-max-resident N] [-pprof]")
+		fmt.Fprintln(os.Stderr, "usage: currents server -addr :8080 -load DIR [-parallelism N] [-cache-size N] [-cache-ttl D] [-persist-appends DIR] [-compact-every N] [-max-resident N] [-retain-epochs N] [-pprof]")
 		os.Exit(2)
 	}
 	if *persist == "load" {
@@ -117,6 +120,7 @@ func runServer(args []string) error {
 
 	cfg := sourcecurrents.DefaultSessionConfig()
 	cfg.Parallelism = *parallelism
+	cfg.RetainEpochs = *retainEpochs
 	start := time.Now()
 	reg, err := server.LoadDir(*load, cfg, func(format string, a ...any) {
 		fmt.Fprintf(os.Stderr, "server: "+format+"\n", a...)
@@ -203,11 +207,15 @@ func runLoadgen(args []string) error {
 	appendFile := fs.String("append-file", "", "claims CSV to append live during the run (enables mixed mode)")
 	appendInterval := fs.Duration("append-interval", 500*time.Millisecond, "delay between append batches in mixed mode")
 	appendBatch := fs.Int("append-batch", 10, "claims per append batch in mixed mode")
+	asOfMix := fs.Float64("as-of-mix", 0, "fraction of reads sent against a retained historical epoch via ?as_of= (0..1; needs server -retain-epochs)")
 	coldStart := fs.Bool("cold-start", false, "measure time-to-first-answer per dataset (-dataset takes a comma-separated list) instead of sustained load")
 	_ = fs.Parse(args)
 	if *dsName == "" || fs.NArg() != 0 || *concurrency < 1 {
-		fmt.Fprintln(os.Stderr, "usage: currents loadgen -addr URL -dataset NAME [-op answer] -query \"e,a;...\" [-concurrency N] [-duration 5s] [-cold-start] [-append-file claims.csv [-append-interval D] [-append-batch N]]")
+		fmt.Fprintln(os.Stderr, "usage: currents loadgen -addr URL -dataset NAME [-op answer] -query \"e,a;...\" [-concurrency N] [-duration 5s] [-as-of-mix P] [-cold-start] [-append-file claims.csv [-append-interval D] [-append-batch N]]")
 		os.Exit(2)
+	}
+	if *asOfMix < 0 || *asOfMix > 1 {
+		return fmt.Errorf("loadgen: -as-of-mix must be in [0, 1]")
 	}
 	if *coldStart {
 		return runColdStart(strings.TrimRight(*addr, "/"), *dsName, *op, *query)
@@ -249,9 +257,38 @@ func runLoadgen(args []string) error {
 	// throughput the cache absorbed).
 	hits0, misses0, haveCache := scrapeCacheCounters(client, base)
 
+	// The historical-epoch pool drives -as-of-mix: readers pick a random
+	// retained (non-current) epoch per historical request. The appender
+	// refreshes the pool after each accepted batch, since every append
+	// shifts both the current epoch and the retention floor.
+	var poolMu sync.Mutex
+	var epochPool []int
+	refreshPool := func() {
+		if *asOfMix == 0 {
+			return
+		}
+		pool := scrapeEpochPool(client, base, *dsName)
+		poolMu.Lock()
+		epochPool = pool
+		poolMu.Unlock()
+	}
+	refreshPool()
+	if *asOfMix > 0 && len(epochPool) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -as-of-mix: no retained historical epochs yet; historical reads start once appends create some")
+	}
+	pickEpoch := func(rng *rand.Rand) (int, bool) {
+		poolMu.Lock()
+		defer poolMu.Unlock()
+		if len(epochPool) == 0 {
+			return 0, false
+		}
+		return epochPool[rng.Intn(len(epochPool))], true
+	}
+
 	type sample struct {
 		start time.Time
 		lat   time.Duration
+		hist  bool
 	}
 	type workerStats struct {
 		lat    []sample
@@ -265,9 +302,17 @@ func runLoadgen(args []string) error {
 		go func(w int) {
 			defer wg.Done()
 			st := &stats[w]
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
 			for time.Now().Before(deadline) {
+				reqURL, hist := url, false
+				if *asOfMix > 0 && rng.Float64() < *asOfMix {
+					if e, ok := pickEpoch(rng); ok {
+						reqURL = url + "?as_of=" + strconv.Itoa(e)
+						hist = true
+					}
+				}
 				t0 := time.Now()
-				req, err := http.NewRequest(method, url, strings.NewReader(body))
+				req, err := http.NewRequest(method, reqURL, strings.NewReader(body))
 				if err != nil {
 					st.errors++
 					continue
@@ -286,7 +331,7 @@ func runLoadgen(args []string) error {
 					st.errors++
 					continue
 				}
-				st.lat = append(st.lat, sample{start: t0, lat: time.Since(t0)})
+				st.lat = append(st.lat, sample{start: t0, lat: time.Since(t0), hist: hist})
 			}
 		}(w)
 	}
@@ -318,6 +363,7 @@ func runLoadgen(args []string) error {
 					swaps = append(swaps, swapWindow{start: t0, end: time.Now()})
 					appendsSent++
 					lastEpoch = ar.Epoch
+					refreshPool()
 				}
 				off = end
 				if off >= len(appendClaims) {
@@ -354,6 +400,30 @@ func runLoadgen(args []string) error {
 	fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
 		pct(all, 0.50).Round(time.Microsecond), pct(all, 0.90).Round(time.Microsecond),
 		pct(all, 0.99).Round(time.Microsecond), all[len(all)-1].lat.Round(time.Microsecond))
+	if *asOfMix > 0 {
+		// `all` is latency-sorted, so these filtered subsequences stay
+		// sorted and pct works on them directly. A historical read that hit
+		// a retained resident epoch should cost the same as a current read;
+		// a gap between the two p99 columns is lazy materialization.
+		var curReads, histReads []sample
+		for _, s := range all {
+			if s.hist {
+				histReads = append(histReads, s)
+			} else {
+				curReads = append(curReads, s)
+			}
+		}
+		if len(curReads) > 0 {
+			fmt.Printf("current reads: %d, p50 %v  p99 %v\n", len(curReads),
+				pct(curReads, 0.50).Round(time.Microsecond), pct(curReads, 0.99).Round(time.Microsecond))
+		}
+		if len(histReads) > 0 {
+			fmt.Printf("historical reads (as_of): %d, p50 %v  p99 %v\n", len(histReads),
+				pct(histReads, 0.50).Round(time.Microsecond), pct(histReads, 0.99).Round(time.Microsecond))
+		} else {
+			fmt.Println("historical reads (as_of): none sent (no retained epochs on the server?)")
+		}
+	}
 	if *op == "answer" {
 		if hits1, misses1, ok := scrapeCacheCounters(client, base); ok && haveCache {
 			hits, lookups := hits1-hits0, (hits1-hits0)+(misses1-misses0)
@@ -491,6 +561,41 @@ func runColdStart(base, datasets, op, query string) error {
 		return fmt.Errorf("loadgen: cold-start had failing datasets")
 	}
 	return nil
+}
+
+// scrapeEpochPool lists a dataset's addressable historical epochs from
+// GET /v1/{ds}/history: every retained epoch except the current one, and
+// except the retention-floor epoch when others exist (the floor is what
+// the next append prunes, and a read racing that prune would count as a
+// failure the server didn't cause).
+func scrapeEpochPool(client *http.Client, base, ds string) []int {
+	resp, err := client.Get(base + "/v1/" + ds + "/history")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var hr struct {
+		Epochs []struct {
+			Epoch   int  `json:"epoch"`
+			Current bool `json:"current"`
+		} `json:"epochs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return nil
+	}
+	var pool []int
+	for _, e := range hr.Epochs {
+		if !e.Current {
+			pool = append(pool, e.Epoch)
+		}
+	}
+	if len(pool) > 1 {
+		pool = pool[1:]
+	}
+	return pool
 }
 
 // scrapeCacheCounters reads the answer-cache hit/miss counters from the

@@ -152,6 +152,32 @@ func (d *Dataset) Append(batch []model.Claim) (*Dataset, error) {
 // a flat dataset built by Freeze or FromClaims.
 func (d *Dataset) Epoch() int { return d.epoch }
 
+// At returns the dataset as it stood at the given epoch, walking the append
+// log's base chain. Epoch d.Epoch() is the receiver itself; epoch 0 the flat
+// origin. Every returned dataset is frozen and shares storage with the
+// receiver (the chain retains each epoch's index structures), so At is O(log
+// length) pointer chasing — no claims are copied. Epochs outside [0,
+// Epoch()] are an error, as is a chain whose early epochs were not retained
+// (a dataset rebuilt from a v1 snapshot has no log).
+func (d *Dataset) At(epoch int) (*Dataset, error) {
+	if epoch < 0 || epoch > d.epoch {
+		return nil, fmt.Errorf("dataset: epoch %d out of range [0, %d]", epoch, d.epoch)
+	}
+	cur := d
+	for cur.epoch > epoch {
+		if cur.base == nil {
+			return nil, fmt.Errorf("dataset: epoch %d not addressable (log truncated at epoch %d)", epoch, cur.epoch)
+		}
+		cur = cur.base
+	}
+	if cur.epoch != epoch {
+		// The chain stepped past the target: epochs must be contiguous, so
+		// this indicates a malformed chain rather than a pruned one.
+		return nil, fmt.Errorf("dataset: epoch %d missing from log chain", epoch)
+	}
+	return cur, nil
+}
+
 // Base returns the predecessor this dataset was appended onto, or nil for a
 // flat dataset. Walking Base to nil visits every epoch of the log.
 func (d *Dataset) Base() *Dataset { return d.base }

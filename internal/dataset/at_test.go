@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAt pins epoch navigation over the append chain: At(e) returns the
+// exact predecessor object serving epoch e (the chain shares storage, so
+// navigation is pointer-walking, not reconstruction), and out-of-range
+// epochs are errors.
+func TestAt(t *testing.T) {
+	all := testClaims(60)
+	d0, err := FromClaims(all[:30])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := d0.Append(all[30:45])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := d1.Append(all[45:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, want := range []*Dataset{d0, d1, d2} {
+		got, err := d2.At(e)
+		if err != nil {
+			t.Fatalf("At(%d): %v", e, err)
+		}
+		if got != want {
+			t.Fatalf("At(%d) returned a different object than the epoch-%d predecessor", e, e)
+		}
+		if got.Epoch() != e {
+			t.Fatalf("At(%d).Epoch() = %d", e, got.Epoch())
+		}
+	}
+	// At is relative to the receiver, not the chain head.
+	if got, err := d1.At(0); err != nil || got != d0 {
+		t.Fatalf("d1.At(0) = %v, %v; want the flat origin", got, err)
+	}
+	if _, err := d2.At(-1); err == nil {
+		t.Fatal("At(-1) accepted")
+	}
+	if _, err := d2.At(3); err == nil {
+		t.Fatal("At above the receiver's epoch accepted")
+	}
+	// A flat dataset addresses only itself.
+	if got, err := d0.At(0); err != nil || got != d0 {
+		t.Fatalf("flat At(0) = %v, %v", got, err)
+	}
+}
+
+// TestAtAfterSnapshotRoundTrip pins that the snapshot log keeps every epoch
+// addressable: a reloaded chain answers At(e) for each epoch with state
+// equivalent to the original predecessor.
+func TestAtAfterSnapshotRoundTrip(t *testing.T) {
+	all := testClaims(60)
+	d0, err := FromClaims(all[:30])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := d0.Append(all[30:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := d1.Append(all[50:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d2.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Epoch() != 2 {
+		t.Fatalf("loaded epoch = %d, want 2", loaded.Epoch())
+	}
+	for e, want := range []*Dataset{d0, d1, d2} {
+		got, err := loaded.At(e)
+		if err != nil {
+			t.Fatalf("loaded At(%d): %v", e, err)
+		}
+		assertDatasetsEquivalent(t, got, want)
+	}
+}

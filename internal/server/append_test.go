@@ -232,7 +232,7 @@ func TestAppendPersistAndReplay(t *testing.T) {
 	defer ts.Close()
 
 	for i := 0; i < 3; i++ {
-		cur, _ := reg.Get("alpha")
+		cur, _, _ := reg.GetWithEpoch("alpha")
 		resp, body := post(t, ts.URL+"/v1/alpha/append",
 			appendBody(t, cur, fmt.Sprintf("w%d", i), fmt.Sprintf("Z%d", i), 4+i))
 		if resp.StatusCode != http.StatusOK {
@@ -282,7 +282,7 @@ func TestAppendCompaction(t *testing.T) {
 	defer ts.Close()
 
 	for i := 0; i < 3; i++ {
-		cur, _ := reg.Get("beta")
+		cur, _, _ := reg.GetWithEpoch("beta")
 		resp, body := post(t, ts.URL+"/v1/beta/append",
 			appendBody(t, cur, fmt.Sprintf("w%d", i), "Z9", 3))
 		if resp.StatusCode != http.StatusOK {
@@ -296,6 +296,18 @@ func TestAppendCompaction(t *testing.T) {
 	}
 	if len(segs) != 1 || !strings.HasSuffix(segs[0], "beta.000003.seg") {
 		t.Fatalf("post-compaction segments = %v, want only beta.000003.seg", segs)
+	}
+	// Compaction archives superseded segments instead of deleting them, so
+	// every epoch's raw batch stays addressable on disk after its claims
+	// fold into the snapshot.
+	archived, err := filepath.Glob(filepath.Join(dir, "archive", "beta.*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(archived) != 2 ||
+		!strings.HasSuffix(archived[0], "beta.000001.seg") ||
+		!strings.HasSuffix(archived[1], "beta.000002.seg") {
+		t.Fatalf("archived segments = %v, want beta.000001.seg and beta.000002.seg", archived)
 	}
 
 	live, _, _ := reg.GetWithEpoch("beta")
@@ -417,7 +429,7 @@ func TestAppendConcurrentWithReads(t *testing.T) {
 		}()
 	}
 	for i := 0; i < 5; i++ {
-		cur, _ := reg.Get("alpha")
+		cur, _, _ := reg.GetWithEpoch("alpha")
 		resp, b := post(t, ts.URL+"/v1/alpha/append",
 			appendBody(t, cur, fmt.Sprintf("liv%d", i), "Z1", 3))
 		if resp.StatusCode != http.StatusOK {

@@ -15,7 +15,7 @@ import (
 // ops is the fixed label set; one opMetrics per entry. "other" counts
 // requests that matched no dataset/operation (404 traffic must still be
 // visible to an operator watching /metrics).
-var ops = []string{"accuracy", "answer", "append", "fuse", "healthz", "link", "metrics", "other", "recommend"}
+var ops = []string{"accuracy", "answer", "append", "fuse", "healthz", "history", "link", "metrics", "other", "recommend", "trajectory"}
 
 // latencyBuckets are the histogram upper bounds in seconds.
 var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
@@ -34,7 +34,10 @@ type opMetrics struct {
 type metrics struct {
 	inFlight  atomic.Int64
 	coalesced atomic.Int64
-	perOp     map[string]*opMetrics
+	// historical counts requests that resolved an ?as_of= epoch rather
+	// than serving the current one.
+	historical atomic.Int64
+	perOp      map[string]*opMetrics
 }
 
 func newMetrics() *metrics {
@@ -79,6 +82,10 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP currents_answer_coalesced_total Answer requests served by joining an identical in-flight request.\n")
 	fmt.Fprintf(w, "# TYPE currents_answer_coalesced_total counter\n")
 	fmt.Fprintf(w, "currents_answer_coalesced_total %d\n", m.coalesced.Load())
+
+	fmt.Fprintf(w, "# HELP currents_historical_requests_total Requests served against a retained (as_of) epoch rather than the current one.\n")
+	fmt.Fprintf(w, "# TYPE currents_historical_requests_total counter\n")
+	fmt.Fprintf(w, "currents_historical_requests_total %d\n", m.historical.Load())
 
 	fmt.Fprintf(w, "# HELP currents_requests_total Requests served, by operation.\n")
 	fmt.Fprintf(w, "# TYPE currents_requests_total counter\n")
@@ -153,5 +160,15 @@ func writeDatasetMetrics(w io.Writer, stats []DatasetStat) {
 			v = 1
 		}
 		fmt.Fprintf(w, "currents_dataset_resident{dataset=%q} %d\n", st.Name, v)
+	}
+	fmt.Fprintf(w, "# HELP currents_retained_epochs Historical epochs addressable behind the current one, per dataset.\n")
+	fmt.Fprintf(w, "# TYPE currents_retained_epochs gauge\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "currents_retained_epochs{dataset=%q} %d\n", st.Name, st.RetainedEpochs)
+	}
+	fmt.Fprintf(w, "# HELP currents_asof_materializations_total Historical sessions rebuilt on demand for as_of queries, per dataset.\n")
+	fmt.Fprintf(w, "# TYPE currents_asof_materializations_total counter\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "currents_asof_materializations_total{dataset=%q} %d\n", st.Name, st.AsOfMaterializations)
 	}
 }

@@ -9,6 +9,15 @@
 // the exact session generation they were computed from. Lookups on the
 // request path take a read lock; the per-entry update mutex serializes
 // writers only and never blocks readers.
+//
+// An entry is not a single generation: the current session heads an epoch
+// ring — the session-layer history spine (session.AsOf) retains up to
+// RetainEpochs predecessors behind it, so as-of requests resolve retired
+// generations through the same pinned acquire as current ones. Mapped
+// predecessors that fall out of the window drain into a per-entry grave
+// and are unmapped only once the entry's pin count proves no in-flight
+// request can still read them — the same quiescence contract -max-resident
+// eviction uses.
 package server
 
 import (
@@ -64,6 +73,16 @@ type entry struct {
 	updateMu sync.Mutex
 	swaps    atomic.Int64
 	appends  atomic.Int64
+	// grave holds mapped historical sessions that fell out of the epoch
+	// retention window (drained from the session spine on Update). They are
+	// closed only when pins reaches zero — an in-flight as-of request
+	// resolved its historical session while holding the entry pin, so
+	// pins == 0 proves no request can still read a graved mapping. graveLen
+	// mirrors len(grave) so the release fast path can skip reaping without
+	// taking graveMu.
+	graveMu  sync.Mutex
+	grave    []*session.Session
+	graveLen atomic.Int64
 }
 
 // Registry maps dataset names to epoch-versioned serving sessions.
@@ -185,7 +204,13 @@ func (r *Registry) Acquire(name string) (*session.Session, uint64, func(), error
 			s, epoch := e.sess, e.epoch
 			r.mu.RUnlock()
 			var once sync.Once
-			return s, epoch, func() { once.Do(func() { e.pins.Add(-1) }) }, nil
+			return s, epoch, func() {
+				once.Do(func() {
+					if e.pins.Add(-1) == 0 && e.graveLen.Load() > 0 {
+						r.reapGrave(e)
+					}
+				})
+			}, nil
 		}
 		r.mu.RUnlock()
 		if err := r.load(e); err != nil {
@@ -259,13 +284,26 @@ func (r *Registry) evictLocked(keep *entry) {
 	}
 }
 
-// Get returns the session registered under name, loading it first if it is
-// not resident. Callers that serve requests under an eviction bound should
-// use Acquire instead — Get does not pin, so the session may be unmapped
-// while still in use.
-func (r *Registry) Get(name string) (*session.Session, bool) {
-	s, _, ok := r.GetWithEpoch(name)
-	return s, ok
+// reapGrave closes graved historical sessions once no request can read
+// them. The pins check runs under the registry write lock — the same lock
+// Acquire pins under — so a close never races a request resolving an as-of
+// epoch: any such request holds the entry pin for its whole lifetime, and
+// the epoch it resolved was removed from the session spine before its
+// session was graved.
+func (r *Registry) reapGrave(e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.pins.Load() != 0 {
+		return
+	}
+	e.graveMu.Lock()
+	dead := e.grave
+	e.grave = nil
+	e.graveLen.Store(0)
+	e.graveMu.Unlock()
+	for _, s := range dead {
+		_ = s.Close()
+	}
 }
 
 // GetWithEpoch returns the session registered under name together with its
@@ -334,6 +372,18 @@ func (r *Registry) Update(name string, fn func(cur *session.Session) (*session.S
 		return nil, 0, err
 	}
 	e.appends.Add(1)
+	// The swap may have pushed mapped epochs out of the retention window;
+	// park them in the grave and close them once in-flight requests drain.
+	if dead := next.TakePrunedMapped(); len(dead) > 0 {
+		e.graveMu.Lock()
+		e.grave = append(e.grave, dead...)
+		e.graveLen.Store(int64(len(e.grave)))
+		e.graveMu.Unlock()
+		release()
+		if e.pins.Load() == 0 {
+			r.reapGrave(e)
+		}
+	}
 	return next, epoch, nil
 }
 
@@ -348,6 +398,11 @@ type DatasetStat struct {
 	// sessions and non-resident entries).
 	Resident    bool
 	MappedBytes int64
+	// RetainedEpochs counts historical epochs addressable via as_of behind
+	// the current one; AsOfMaterializations counts lazy historical rebuilds
+	// the epoch spine has paid. Both are 0 for non-resident entries.
+	RetainedEpochs       int
+	AsOfMaterializations int64
 }
 
 // Stats returns per-dataset lifecycle counters, sorted by name.
@@ -365,6 +420,8 @@ func (r *Registry) Stats() []DatasetStat {
 		}
 		if e.sess != nil {
 			st.MappedBytes = e.sess.MappedBytes()
+			st.RetainedEpochs = e.sess.RetainedEpochs()
+			st.AsOfMaterializations = e.sess.HistMaterializations()
 		}
 		out = append(out, st)
 	}

@@ -239,11 +239,13 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) (string, response
 	name, op, ok := strings.Cut(rest, "/")
 	if !ok || name == "" || op == "" || strings.Contains(op, "/") {
 		return "other", jsonResponse(http.StatusNotFound,
-			ErrorResponse{Error: "not found: want /v1/{dataset}/{answer|fuse|recommend|link|accuracy}"})
+			ErrorResponse{Error: "not found: want /v1/{dataset}/{answer|fuse|recommend|link|accuracy|history|trajectory}"})
 	}
 	// Acquire pins the session for the request's lifetime: a lazy world
 	// loads on this first touch, and eviction under -max-resident cannot
-	// unmap the snapshot while any request still reads from it.
+	// unmap the snapshot while any request still reads from it. The pin
+	// also covers any historical session resolved below — the grave reaper
+	// closes retired mapped epochs only once the entry's pins drain.
 	sess, epoch, release, err := s.reg.Acquire(name)
 	if errors.Is(err, ErrUnknownDataset) {
 		return "other", jsonResponse(http.StatusNotFound,
@@ -253,6 +255,22 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) (string, response
 		return "other", errResponse(err)
 	}
 	defer release()
+
+	// ?as_of=<epoch|timestamp> retargets the read operations at a retained
+	// historical epoch; the resolved epoch replaces the current one in
+	// every cache and singleflight key, so historical responses cache under
+	// their own immutable generation.
+	if spec := r.URL.Query().Get("as_of"); spec != "" {
+		switch op {
+		case "answer", "fuse", "recommend", "accuracy":
+			hs, he, err := ResolveAsOf(sess, spec)
+			if err != nil {
+				return op, errResponse(err)
+			}
+			sess, epoch = hs, he
+			s.met.historical.Add(1)
+		}
+	}
 
 	switch op {
 	case "answer":
@@ -285,6 +303,16 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) (string, response
 			return op, methodNotAllowed(w, http.MethodGet)
 		}
 		return op, jsonResponse(http.StatusOK, BuildAccuracyResponse(ExecAccuracy(sess)))
+	case "history":
+		if r.Method != http.MethodGet {
+			return op, methodNotAllowed(w, http.MethodGet)
+		}
+		return op, jsonResponse(http.StatusOK, BuildHistoryResponse(name, sess))
+	case "trajectory":
+		if r.Method != http.MethodGet {
+			return op, methodNotAllowed(w, http.MethodGet)
+		}
+		return op, s.handleTrajectory(r, name, sess)
 	}
 	return "other", jsonResponse(http.StatusNotFound,
 		ErrorResponse{Error: fmt.Sprintf("unknown operation %q", op)})
@@ -406,8 +434,17 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request, name strin
 		// batch (400 via the ErrBadRequest wrap) or persistence (500).
 		return errResponse(err)
 	}
-	if n := s.cache.flushPrefix(name + "\x00"); n > 0 {
-		s.opt.Logf("append %s: flushed %d cached answers", name, n)
+	// Epochs are immutable worlds, so cached answers for epochs still inside
+	// the retention window stay valid — and servable via ?as_of= — across
+	// the swap. Only the epoch the swap pushed below the retention floor is
+	// flushed: its answers are no longer addressable, so the flush is pure
+	// memory reclamation. With RetainEpochs 0 the floor is the new epoch and
+	// this reduces to the old swap-and-discard flush of the predecessor.
+	if floor := next.HistoryFloor(); floor > 0 {
+		dropped := strconv.FormatUint(uint64(floor-1), 10)
+		if n := s.cache.flushPrefix(name + "\x00" + dropped + "\x00"); n > 0 {
+			s.opt.Logf("append %s: flushed %d cached answers for pruned epoch %s", name, n, dropped)
+		}
 	}
 	if s.opt.PersistDir != "" && s.opt.CompactEvery > 0 {
 		s.maybeCompact(name, next)
@@ -437,11 +474,16 @@ func (s *Server) persistSegment(name string, epoch int, batch []model.Claim) err
 // maybeCompact folds a dataset's accumulated log segments into a fresh
 // session snapshot once there are CompactEvery of them: the refined serving
 // state is written to <name>.snap (atomic rename — no re-solve, the
-// snapshot captures the precompute), then the segments are deleted. The
-// snapshot lands before any segment is removed, so a crash at any point
-// leaves a directory LoadDir restores exactly (segments at or below the
-// snapshot's epoch are skipped at replay). Compaction failure is logged,
-// never surfaced: the append itself is already durable in its segment.
+// snapshot captures the precompute), then the superseded segments move into
+// the archive/ subdirectory. Archiving instead of deleting keeps every
+// epoch's batch addressable on disk — the raw material for rebuilding any
+// historical epoch a snapshot's log no longer carries — while keeping the
+// hot directory's replay set minimal (LoadDir ignores subdirectories, and
+// segments at or below the snapshot's epoch are skipped at replay anyway).
+// The snapshot lands before any segment moves, so a crash at any point
+// leaves a directory LoadDir restores exactly. Compaction failure is
+// logged, never surfaced: the append itself is already durable in its
+// segment.
 func (s *Server) maybeCompact(name string, sess *session.Session) {
 	segs, err := filepath.Glob(filepath.Join(s.opt.PersistDir, name+".*.seg"))
 	if err != nil || len(segs) < s.opt.CompactEvery {
@@ -467,17 +509,22 @@ func (s *Server) maybeCompact(name string, sess *session.Session) {
 		s.opt.Logf("compact %s: %v", name, err)
 		return
 	}
-	removed := 0
+	archiveDir := filepath.Join(s.opt.PersistDir, "archive")
+	if err := os.MkdirAll(archiveDir, 0o755); err != nil {
+		s.opt.Logf("compact %s: archive dir: %v", name, err)
+		return
+	}
+	archived := 0
 	for _, seg := range segs {
 		if sf, ok := parseSegmentName(strings.TrimSuffix(filepath.Base(seg), ".seg")); ok &&
 			sf.epoch <= sess.Dataset().Epoch() {
-			if err := os.Remove(seg); err == nil {
-				removed++
+			if err := os.Rename(seg, filepath.Join(archiveDir, filepath.Base(seg))); err == nil {
+				archived++
 			}
 		}
 	}
-	s.opt.Logf("compacted %s: snapshot at epoch %d, %d segments removed",
-		name, sess.Dataset().Epoch(), removed)
+	s.opt.Logf("compacted %s: snapshot at epoch %d, %d segments archived",
+		name, sess.Dataset().Epoch(), archived)
 }
 
 func (s *Server) handleFuse(sess *session.Session) response {

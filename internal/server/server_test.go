@@ -412,8 +412,8 @@ func TestLoadDir(t *testing.T) {
 	}
 
 	// Both routes end at the same serving state.
-	snappy, _ := reg.Get("snappy")
-	fresh, _ := reg.Get("fresh")
+	snappy, _, _ := reg.GetWithEpoch("snappy")
+	fresh, _, _ := reg.GetWithEpoch("fresh")
 	q := s.Dataset().Objects()[:4]
 	a1, err := snappy.AnswerObjects(q)
 	if err != nil {

@@ -2,6 +2,7 @@ package session
 
 import (
 	"bytes"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
@@ -37,6 +38,59 @@ func benchWorld(b *testing.B) *Session {
 		b.Fatal(err)
 	}
 	return s
+}
+
+// BenchmarkSessionAsOf measures epoch time travel on the acceptance-shape
+// world advanced through 4 appends with full retention. "retained" is the
+// spine hit every request pays when the epoch's session is in memory — it
+// must stay O(1) lookup, no reconstruction. "materialize" is the lazy path
+// on a snapshot-reloaded chain (no retained predecessors): a full forward
+// replay, paid once per epoch then cached — the bench re-loads the
+// snapshot each iteration to defeat that cache.
+func BenchmarkSessionAsOf(b *testing.B) {
+	base := benchWorld(b)
+	buildChain := func() *Session {
+		cfg := DefaultConfig()
+		cfg.RetainEpochs = -1
+		cur, err := New(base.Dataset(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 4; i++ {
+			if cur, err = cur.Append(randomBatch(rng, cur.Dataset(), i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return cur
+	}
+
+	b.Run("retained", func(b *testing.B) {
+		cur := buildChain()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cur.AsOf(i % 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("materialize", func(b *testing.B) {
+		raw := snapshotBytes(b, buildChain())
+		cfg := DefaultConfig()
+		cfg.RetainEpochs = -1
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			loaded, err := LoadSnapshot(bytes.NewReader(raw), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := loaded.AsOf(2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSnapshotLoadV1 measures the v1 decoding loader at the

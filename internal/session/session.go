@@ -24,6 +24,7 @@ package session
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"sourcecurrents/internal/dataset"
 	"sourcecurrents/internal/depen"
@@ -59,6 +60,14 @@ type Config struct {
 	// <= 0 select runtime.GOMAXPROCS(0); 1 forces sequential execution.
 	// Results are bit-identical at every setting.
 	Parallelism int
+	// RetainEpochs bounds the epoch history spine: how many historical
+	// epochs stay addressable through AsOf behind the current one as the
+	// session advances through Append. 0 (the default) retains none —
+	// append remains pure swap-and-discard; N keeps the last N; negative
+	// retains every epoch. Retention shapes only serving-time navigation,
+	// never the precompute, so it is not part of the snapshot fingerprint
+	// and may differ freely between a snapshot writer and its loader.
+	RetainEpochs int
 }
 
 // DefaultConfig returns the standard serving parameters.
@@ -122,6 +131,12 @@ type Session struct {
 
 	profilesOnce sync.Once
 	profiles     []recommend.Profile
+
+	// hist is the epoch history spine shared along the append chain;
+	// created is when this session became the serving current (see
+	// history.go for AsOf, History, and the retention contract).
+	hist    *history
+	created time.Time
 }
 
 // materialize decodes a mapped session's cold sections (embedded dataset
@@ -165,11 +180,13 @@ func newFromDep(d *dataset.Dataset, cfg Config, dep *depen.Result) (*Session, er
 	c := d.Compiled()
 	nS := c.NumSources()
 	s := &Session{
-		d:      d,
-		cfg:    cfg,
-		dep:    dep,
-		acc:    make([]float64, nS),
-		depTab: make([]float64, nS*nS),
+		d:       d,
+		cfg:     cfg,
+		dep:     dep,
+		acc:     make([]float64, nS),
+		depTab:  make([]float64, nS*nS),
+		hist:    newHistory(cfg.RetainEpochs),
+		created: time.Now(),
 	}
 	for i := 0; i < nS; i++ {
 		s.acc[i] = dep.Truth.Accuracy[c.Source(i)]
@@ -207,6 +224,11 @@ func newFromDep(d *dataset.Dataset, cfg Config, dep *depen.Result) (*Session, er
 // ready. The returned session is bit-identical to New over the successor
 // dataset, because a from-scratch build replays the same log with the same
 // refinement passes (the equivalence the append suites pin).
+//
+// The successor shares the receiver's epoch history spine: the receiver is
+// retained behind it (up to Config.RetainEpochs epochs deep) and stays
+// reachable through Session.AsOf, so as-of queries keep serving retired
+// epochs after the swap.
 func (s *Session) Append(batch []model.Claim) (*Session, error) {
 	if err := s.materialize(); err != nil {
 		return nil, err
@@ -219,7 +241,15 @@ func (s *Session) Append(batch []model.Claim) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newFromDep(d2, s.cfg, dep2)
+	next, err := newFromDep(d2, s.cfg, dep2)
+	if err != nil {
+		return nil, err
+	}
+	if s.hist != nil {
+		next.hist = s.hist
+		s.hist.retainPredecessor(s, next.DatasetEpoch())
+	}
+	return next, nil
 }
 
 // Dataset returns the served dataset, materializing it first for a mapped
@@ -250,6 +280,16 @@ func (s *Session) Accuracy() map[model.SourceID]float64 {
 		return nil
 	}
 	return s.dep.Truth.Accuracy
+}
+
+// compiledView returns the compiled index the session serves from — the
+// mapped tables for a v2-backed session, the dataset's own compilation
+// otherwise — without forcing materialization.
+func (s *Session) compiledView() *dataset.Compiled {
+	if s.mapped != nil {
+		return s.mc
+	}
+	return s.d.Compiled()
 }
 
 // DatasetEpoch returns the served dataset's append epoch without forcing a

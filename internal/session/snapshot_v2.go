@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"sourcecurrents/internal/dataset"
 	"sourcecurrents/internal/model"
@@ -177,6 +178,8 @@ func sessionFromMapped(m *snapio.Mapped, cfg Config) (*Session, error) {
 		dsEpoch:   int(epoch),
 		rounds:    rounds,
 		converged: converged,
+		hist:      newHistory(cfg.RetainEpochs),
+		created:   time.Now(),
 	}, nil
 }
 

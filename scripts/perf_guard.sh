@@ -25,7 +25,7 @@ if [ ! -s "$OUT" ]; then
     -benchtime 2x -benchmem -run '^$' . > "$TMP"
   go test -short -bench '^(BenchmarkServerAnswer|BenchmarkServerAnswerCached|BenchmarkServerColdStart)$' \
     -benchtime 5x -benchmem -run '^$' ./internal/server/ >> "$TMP"
-  go test -short -bench '^BenchmarkSnapshotLoadV[12]$' \
+  go test -short -bench '^(BenchmarkSnapshotLoadV[12]|BenchmarkSessionAsOf)$' \
     -benchtime 2x -benchmem -run '^$' ./internal/session/ >> "$TMP"
   mv "$TMP" "$OUT"
   trap - EXIT
