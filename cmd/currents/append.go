@@ -36,15 +36,22 @@ func claimsToAppendRequest(claims []sourcecurrents.Claim) server.AppendRequest {
 	return req
 }
 
-// postAppend sends one append batch and decodes the response.
+// postAppend sends one append batch and decodes the response. Pointing it
+// at a fleet router reaches the primary automatically; pointing it at the
+// wrong shard directly gets a 404 carrying the owner's address, which is
+// followed once — so an append lands wherever the operator aimed, as long
+// as the named shard knows the ring.
 func postAppend(client *http.Client, base, dataset string, claims []sourcecurrents.Claim) (server.AppendResponse, error) {
 	var out server.AppendResponse
 	body, err := json.Marshal(claimsToAppendRequest(claims))
 	if err != nil {
 		return out, err
 	}
-	url := strings.TrimRight(base, "/") + "/v1/" + dataset + "/append"
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	post := func(base string) (*http.Response, error) {
+		url := strings.TrimRight(base, "/") + "/v1/" + dataset + "/append"
+		return client.Post(url, "application/json", bytes.NewReader(body))
+	}
+	resp, err := post(base)
 	if err != nil {
 		return out, err
 	}
@@ -52,6 +59,24 @@ func postAppend(client *http.Client, base, dataset string, claims []sourcecurren
 	if resp.StatusCode != http.StatusOK {
 		var er server.ErrorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&er)
+		if resp.StatusCode == http.StatusNotFound && er.Owner != "" {
+			ownerBase := er.Owner
+			if !strings.Contains(ownerBase, "://") {
+				ownerBase = "http://" + ownerBase
+			}
+			fmt.Fprintf(os.Stderr, "append: %s does not own %q, retrying at owner %s\n", base, dataset, ownerBase)
+			oresp, oerr := post(ownerBase)
+			if oerr != nil {
+				return out, fmt.Errorf("append: owner %s: %w", ownerBase, oerr)
+			}
+			defer oresp.Body.Close()
+			if oresp.StatusCode != http.StatusOK {
+				var oer server.ErrorResponse
+				_ = json.NewDecoder(oresp.Body).Decode(&oer)
+				return out, fmt.Errorf("append: owner %s answered %d: %s", ownerBase, oresp.StatusCode, oer.Error)
+			}
+			return out, json.NewDecoder(oresp.Body).Decode(&out)
+		}
 		return out, fmt.Errorf("append: server answered %d: %s", resp.StatusCode, er.Error)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {

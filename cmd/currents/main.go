@@ -26,14 +26,22 @@
 //	    (*.snap snapshots, *.csv claims); LRU answer cache (1024 entries
 //	    by default, 0 disables; -cache-ttl bounds entry lifetime),
 //	    optional net/http/pprof endpoints, graceful shutdown on SIGINT
+//	currents router -addr :8080 -shards host1:9001,host2:9002[,...] [-rf N]
+//	    fleet router: proxy the /v1 API across shards via a consistent-hash
+//	    ring, health-check with /readyz, fail reads over to replicas, fan
+//	    appends out from the primary, rebalance by snapshot streaming on
+//	    POST /admin/ring
 //	currents loadgen -addr URL -dataset NAME -query "e,a" [-concurrency N] [-duration 5s]
 //	    hammer a running server, report throughput + latency percentiles
 //	    and the server-observed answer-cache hit ratio (from /metrics);
 //	    with -append-file claims.csv it runs mixed read/append traffic and
-//	    passes only on zero failed requests during the epoch swaps
+//	    passes only on zero failed requests during the epoch swaps; with
+//	    -router it targets a fleet router and reports per-shard p50/p99
 //	currents append -addr URL -dataset NAME [-batch N] claims.csv
 //	    live ingest: POST a claims CSV to a served dataset; the server
-//	    refines the batch into a successor session and epoch-swaps it in
+//	    refines the batch into a successor session and epoch-swaps it in;
+//	    a 404 from a non-owner shard is retried once at the owner address
+//	    the error body names
 //
 // Every analysis subcommand also accepts -cpuprofile FILE and -memprofile
 // FILE to write pprof evidence for performance work.
@@ -77,6 +85,8 @@ func main() {
 		err = runSnapshot(args)
 	case "server":
 		err = runServer(args)
+	case "router":
+		err = runRouter(args)
 	case "loadgen":
 		err = runLoadgen(args)
 	case "append":
@@ -91,7 +101,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: currents <detect|truth|temporal|dissim|recommend|serve|snapshot|server|loadgen|append> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: currents <detect|truth|temporal|dissim|recommend|serve|snapshot|server|router|loadgen|append> [flags]")
 	os.Exit(2)
 }
 

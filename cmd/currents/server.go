@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"sourcecurrents"
+	"sourcecurrents/internal/cluster"
 	"sourcecurrents/internal/profiling"
 	"sourcecurrents/internal/server"
 )
@@ -104,14 +105,22 @@ func runServer(args []string) error {
 	maxResident := fs.Int("max-resident", 0, "max sessions resident at once; idle worlds are unmapped LRU-first (0 = unbounded)")
 	retainEpochs := fs.Int("retain-epochs", 4, "historical epochs addressable via ?as_of= behind each dataset's current one (0 = none, -1 = all)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
+	allowEmpty := fs.Bool("allow-empty", false, "boot with zero datasets (a fleet shard adopts its worlds from peers)")
+	adoptDir := fs.String("adopt-dir", "", "directory adopted snapshots install into, enabling POST /v1/{ds}/adopt (\"load\" = the -load directory)")
+	ringSpec := fs.String("ring", "", "comma-separated fleet shard addresses; unknown-dataset 404s then carry the ring owner's address")
+	self := fs.String("self", "", "this shard's own address on the ring (suppresses self-referential owner hints)")
+	rf := fs.Int("rf", 0, "fleet replication factor for owner hints (0 = router default)")
 	prof := profiling.Register(fs)
 	_ = fs.Parse(args)
 	if *load == "" || fs.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: currents server -addr :8080 -load DIR [-parallelism N] [-cache-size N] [-cache-ttl D] [-persist-appends DIR] [-compact-every N] [-max-resident N] [-retain-epochs N] [-pprof]")
+		fmt.Fprintln(os.Stderr, "usage: currents server -addr :8080 -load DIR [-parallelism N] [-cache-size N] [-cache-ttl D] [-persist-appends DIR] [-compact-every N] [-max-resident N] [-retain-epochs N] [-allow-empty] [-adopt-dir DIR] [-ring host:port,...] [-self host:port] [-pprof]")
 		os.Exit(2)
 	}
 	if *persist == "load" {
 		*persist = *load
+	}
+	if *adoptDir == "load" {
+		*adoptDir = *load
 	}
 	if err := prof.Start(); err != nil {
 		return err
@@ -122,7 +131,11 @@ func runServer(args []string) error {
 	cfg.Parallelism = *parallelism
 	cfg.RetainEpochs = *retainEpochs
 	start := time.Now()
-	reg, err := server.LoadDir(*load, cfg, func(format string, a ...any) {
+	loadDir := server.LoadDir
+	if *allowEmpty {
+		loadDir = server.LoadDirAllowEmpty
+	}
+	reg, err := loadDir(*load, cfg, func(format string, a ...any) {
 		fmt.Fprintf(os.Stderr, "server: "+format+"\n", a...)
 	})
 	if err != nil {
@@ -135,16 +148,39 @@ func runServer(args []string) error {
 	fmt.Fprintf(os.Stderr, "server: %d dataset(s) ready in %v, listening on %s\n",
 		reg.Len(), time.Since(start).Round(time.Millisecond), *addr)
 
-	var handler http.Handler = server.New(reg, server.Options{
+	opt := server.Options{
 		MaxRequestBytes: *maxBytes,
 		AnswerCacheSize: *cacheSize,
 		AnswerCacheTTL:  *cacheTTL,
 		PersistDir:      *persist,
 		CompactEvery:    *compactEvery,
+		AdoptDir:        *adoptDir,
+		SessionCfg:      cfg,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "server: "+format+"\n", a...)
 		},
-	})
+	}
+	if *ringSpec != "" {
+		// The shard derives ownership from the same pure ring function the
+		// router uses, so its 404 owner hints always agree with routing. The
+		// hint names the first placement shard that is not this process.
+		ring := cluster.NewRing(strings.Split(*ringSpec, ","), 0)
+		rfEff := *rf
+		if rfEff <= 0 {
+			rfEff = cluster.DefaultRF
+		}
+		selfAddr := *self
+		opt.OwnerOf = func(ds string) (string, bool) {
+			for _, owner := range ring.Place(ds, rfEff) {
+				if owner != selfAddr {
+					return owner, true
+				}
+			}
+			return "", false
+		}
+		fmt.Fprintf(os.Stderr, "server: ring of %d shard(s), owner hints on unknown datasets\n", ring.Len())
+	}
+	var handler http.Handler = server.New(reg, opt)
 	if *pprofOn {
 		// Profiling endpoints are opt-in: they expose internals and cost
 		// CPU while sampling, so production servers keep them off unless an
@@ -209,9 +245,10 @@ func runLoadgen(args []string) error {
 	appendBatch := fs.Int("append-batch", 10, "claims per append batch in mixed mode")
 	asOfMix := fs.Float64("as-of-mix", 0, "fraction of reads sent against a retained historical epoch via ?as_of= (0..1; needs server -retain-epochs)")
 	coldStart := fs.Bool("cold-start", false, "measure time-to-first-answer per dataset (-dataset takes a comma-separated list) instead of sustained load")
+	routerMode := fs.Bool("router", false, "-addr points at a fleet router: report per-shard p50/p99 from router metrics and require zero failed reads")
 	_ = fs.Parse(args)
 	if *dsName == "" || fs.NArg() != 0 || *concurrency < 1 {
-		fmt.Fprintln(os.Stderr, "usage: currents loadgen -addr URL -dataset NAME [-op answer] -query \"e,a;...\" [-concurrency N] [-duration 5s] [-as-of-mix P] [-cold-start] [-append-file claims.csv [-append-interval D] [-append-batch N]]")
+		fmt.Fprintln(os.Stderr, "usage: currents loadgen -addr URL -dataset NAME [-op answer] -query \"e,a;...\" [-concurrency N] [-duration 5s] [-as-of-mix P] [-cold-start] [-router] [-append-file claims.csv [-append-interval D] [-append-batch N]]")
 		os.Exit(2)
 	}
 	if *asOfMix < 0 || *asOfMix > 1 {
@@ -256,6 +293,16 @@ func runLoadgen(args []string) error {
 	// requests, so the ratio tells an operator how much of the measured
 	// throughput the cache absorbed).
 	hits0, misses0, haveCache := scrapeCacheCounters(client, base)
+
+	// Router mode diffs the router's per-shard latency histograms across the
+	// run, so the per-shard columns cover exactly the traffic sent here.
+	var shardHists0 map[string]*shardHist
+	if *routerMode {
+		shardHists0 = scrapeShardHists(client, base)
+		if shardHists0 == nil {
+			fmt.Fprintln(os.Stderr, "loadgen: -router: no per-shard metrics at "+base+"/metrics (is this a router?)")
+		}
+	}
 
 	// The historical-epoch pool drives -as-of-mix: readers pick a random
 	// retained (non-current) epoch per historical request. The appender
@@ -436,6 +483,33 @@ func runLoadgen(args []string) error {
 		} else {
 			fmt.Println("server answer cache: /metrics counters unavailable")
 		}
+	}
+	if *routerMode {
+		// Aggregate req/s is the loadgen-side number above; the per-shard
+		// split comes from the router's own histograms, where failovers and
+		// replica traffic land on the shard that actually served each try.
+		if h1 := scrapeShardHists(client, base); h1 != nil {
+			shards := make([]string, 0, len(h1))
+			for s := range h1 {
+				shards = append(shards, s)
+			}
+			sort.Strings(shards)
+			fmt.Println("per-shard (router-side, this run):")
+			for _, s := range shards {
+				d := h1[s].sub(shardHists0[s])
+				if d.reqs <= 0 {
+					fmt.Printf("  %-22s idle\n", s)
+					continue
+				}
+				fmt.Printf("  %-22s %6d reqs  %3d errors  p50 %v  p99 %v\n",
+					s, d.reqs, d.errs,
+					d.pct(0.50).Round(time.Microsecond), d.pct(0.99).Round(time.Microsecond))
+			}
+		}
+		if nErr > 0 {
+			return fmt.Errorf("loadgen: router mode FAILED: %d failed reads (zero required — failover must hide shard loss)", nErr)
+		}
+		fmt.Println("router mode PASS: zero failed reads")
 	}
 	if len(appendClaims) > 0 {
 		// Reads whose lifetime overlapped an append's are the requests a

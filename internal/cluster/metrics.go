@@ -1,0 +1,179 @@
+// Router-side metrics: per-shard request/error counters and latency
+// histograms, failover and rebalance counters, and ring-state gauges, in
+// Prometheus text format on the router's /metrics. Hand-rolled on
+// sync/atomic like the shard server's instrument set, but with a dynamic
+// label space — shards join and leave at runtime via /admin/ring — so the
+// per-shard map is guarded by an RWMutex with a read-lock fast path.
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// routerLatencyBuckets are the histogram upper bounds in seconds; the
+// loadgen -router report estimates per-shard percentiles from them.
+var routerLatencyBuckets = []float64{0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
+
+// shardMetrics is one shard's proxy counters.
+type shardMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	buckets  [8]atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// routerMetrics is the router-wide instrument set.
+type routerMetrics struct {
+	mu       sync.RWMutex
+	perShard map[string]*shardMetrics
+
+	failovers       atomic.Int64
+	replicaAppends  atomic.Int64
+	replicaAppErrs  atomic.Int64
+	rebalanceAdopts atomic.Int64
+	rebalanceErrs   atomic.Int64
+	ringChanges     atomic.Int64
+}
+
+func newRouterMetrics() *routerMetrics {
+	return &routerMetrics{perShard: make(map[string]*shardMetrics)}
+}
+
+// shard returns (creating if needed) the counters for one shard address.
+func (m *routerMetrics) shard(addr string) *shardMetrics {
+	m.mu.RLock()
+	sm, ok := m.perShard[addr]
+	m.mu.RUnlock()
+	if ok {
+		return sm
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sm, ok = m.perShard[addr]; ok {
+		return sm
+	}
+	sm = &shardMetrics{}
+	m.perShard[addr] = sm
+	return sm
+}
+
+// observe records one proxied request against a shard.
+func (m *routerMetrics) observe(addr string, d time.Duration, failed bool) {
+	sm := m.shard(addr)
+	sm.requests.Add(1)
+	if failed {
+		sm.errors.Add(1)
+	}
+	sm.sumNanos.Add(int64(d))
+	secs := d.Seconds()
+	for i, le := range routerLatencyBuckets {
+		if secs <= le {
+			sm.buckets[i].Add(1)
+		}
+	}
+}
+
+// shardStatus is one shard's health snapshot at scrape time, supplied by
+// the router.
+type shardStatus struct {
+	addr     string
+	ready    bool
+	datasets int
+}
+
+// write renders the Prometheus text exposition.
+func (m *routerMetrics) write(w io.Writer, status []shardStatus) {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.perShard))
+	for addr := range m.perShard {
+		names = append(names, addr)
+	}
+	shards := make(map[string]*shardMetrics, len(m.perShard))
+	for addr, sm := range m.perShard {
+		shards[addr] = sm
+	}
+	m.mu.RUnlock()
+	sort.Strings(names)
+
+	ready := 0
+	for _, st := range status {
+		if st.ready {
+			ready++
+		}
+	}
+	fmt.Fprintf(w, "# HELP currents_router_ring_shards Shards on the ring, by health state.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_ring_shards gauge\n")
+	fmt.Fprintf(w, "currents_router_ring_shards{state=\"ready\"} %d\n", ready)
+	fmt.Fprintf(w, "currents_router_ring_shards{state=\"down\"} %d\n", len(status)-ready)
+
+	fmt.Fprintf(w, "# HELP currents_router_shard_ready Whether each shard answered its last readiness probe (1) or not (0).\n")
+	fmt.Fprintf(w, "# TYPE currents_router_shard_ready gauge\n")
+	sorted := append([]shardStatus(nil), status...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].addr < sorted[j].addr })
+	for _, st := range sorted {
+		v := 0
+		if st.ready {
+			v = 1
+		}
+		fmt.Fprintf(w, "currents_router_shard_ready{shard=%q} %d\n", st.addr, v)
+	}
+	fmt.Fprintf(w, "# HELP currents_router_shard_datasets Datasets reported by each shard's last readiness probe.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_shard_datasets gauge\n")
+	for _, st := range sorted {
+		fmt.Fprintf(w, "currents_router_shard_datasets{shard=%q} %d\n", st.addr, st.datasets)
+	}
+
+	fmt.Fprintf(w, "# HELP currents_router_ring_changes_total Ring reconfigurations accepted via /admin/ring.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_ring_changes_total counter\n")
+	fmt.Fprintf(w, "currents_router_ring_changes_total %d\n", m.ringChanges.Load())
+
+	fmt.Fprintf(w, "# HELP currents_router_failovers_total Reads retried on a replica after the preferred shard failed.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_failovers_total counter\n")
+	fmt.Fprintf(w, "currents_router_failovers_total %d\n", m.failovers.Load())
+
+	fmt.Fprintf(w, "# HELP currents_router_replica_appends_total Append batches fanned out to replicas after the primary accepted.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_replica_appends_total counter\n")
+	fmt.Fprintf(w, "currents_router_replica_appends_total %d\n", m.replicaAppends.Load())
+
+	fmt.Fprintf(w, "# HELP currents_router_replica_append_errors_total Replica append fan-outs that failed (replica diverges until re-adopted).\n")
+	fmt.Fprintf(w, "# TYPE currents_router_replica_append_errors_total counter\n")
+	fmt.Fprintf(w, "currents_router_replica_append_errors_total %d\n", m.replicaAppErrs.Load())
+
+	fmt.Fprintf(w, "# HELP currents_router_rebalance_adoptions_total Snapshot adoptions triggered by ring changes.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_rebalance_adoptions_total counter\n")
+	fmt.Fprintf(w, "currents_router_rebalance_adoptions_total %d\n", m.rebalanceAdopts.Load())
+
+	fmt.Fprintf(w, "# HELP currents_router_rebalance_errors_total Rebalance adoptions that failed.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_rebalance_errors_total counter\n")
+	fmt.Fprintf(w, "currents_router_rebalance_errors_total %d\n", m.rebalanceErrs.Load())
+
+	fmt.Fprintf(w, "# HELP currents_router_requests_total Requests proxied, by shard.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_requests_total counter\n")
+	for _, addr := range names {
+		fmt.Fprintf(w, "currents_router_requests_total{shard=%q} %d\n", addr, shards[addr].requests.Load())
+	}
+	fmt.Fprintf(w, "# HELP currents_router_request_errors_total Proxied requests that failed (transport error or status >= 500), by shard.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_request_errors_total counter\n")
+	for _, addr := range names {
+		fmt.Fprintf(w, "currents_router_request_errors_total{shard=%q} %d\n", addr, shards[addr].errors.Load())
+	}
+	fmt.Fprintf(w, "# HELP currents_router_request_duration_seconds Proxied request latency, by shard.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_request_duration_seconds histogram\n")
+	for _, addr := range names {
+		sm := shards[addr]
+		for i, le := range routerLatencyBuckets {
+			fmt.Fprintf(w, "currents_router_request_duration_seconds_bucket{shard=%q,le=\"%g\"} %d\n",
+				addr, le, sm.buckets[i].Load())
+		}
+		n := sm.requests.Load()
+		fmt.Fprintf(w, "currents_router_request_duration_seconds_bucket{shard=%q,le=\"+Inf\"} %d\n", addr, n)
+		fmt.Fprintf(w, "currents_router_request_duration_seconds_sum{shard=%q} %g\n",
+			addr, float64(sm.sumNanos.Load())/1e9)
+		fmt.Fprintf(w, "currents_router_request_duration_seconds_count{shard=%q} %d\n", addr, n)
+	}
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func shardSet(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:9000", i+1)
+	}
+	return out
+}
+
+func keySet(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("dataset-%04d", i)
+	}
+	return out
+}
+
+// Same shard set — in any input order, with duplicates — must produce the
+// identical placement for every key: the router, the shards' owner hints,
+// and the rebalancer each build their own Ring and have to agree.
+func TestRingDeterminism(t *testing.T) {
+	shards := shardSet(7)
+	keys := keySet(500)
+	base := NewRing(shards, 0)
+	want := make([][]string, len(keys))
+	for i, k := range keys {
+		want[i] = base.Place(k, 3)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		perm := append([]string(nil), shards...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if trial%2 == 1 {
+			perm = append(perm, perm[rng.Intn(len(perm))]) // duplicate entry
+		}
+		r := NewRing(perm, 0)
+		if !reflect.DeepEqual(r.Shards(), base.Shards()) {
+			t.Fatalf("trial %d: canonical shard set %v != %v", trial, r.Shards(), base.Shards())
+		}
+		for i, k := range keys {
+			if got := r.Place(k, 3); !reflect.DeepEqual(got, want[i]) {
+				t.Fatalf("trial %d: Place(%q) = %v, want %v", trial, k, got, want[i])
+			}
+		}
+	}
+}
+
+// Adding or removing one shard must move only ~1/N of the keys: that is the
+// consistent-hashing contract the rebalancer's snapshot-streaming cost
+// depends on. The bound is generous (2.5x the ideal fraction) to absorb
+// hash variance at 128 vnodes without ever tolerating modulo-style
+// reshuffles, which move (N-1)/N of the keys.
+func TestRingBoundedChurn(t *testing.T) {
+	const nShards, nKeys, rf = 10, 2000, 2
+	shards := shardSet(nShards)
+	keys := keySet(nKeys)
+	before := NewRing(shards, 0)
+
+	churn := func(after *Ring, newN int) float64 {
+		moved := 0
+		for _, k := range keys {
+			a, b := before.Place(k, rf), after.Place(k, rf)
+			// A key churns when a shard present in both rings gained or lost
+			// it; movement caused purely by the added/removed shard itself is
+			// the unavoidable part.
+			am := map[string]bool{}
+			for _, s := range a {
+				am[s] = true
+			}
+			same := 0
+			for _, s := range b {
+				if am[s] {
+					same++
+				}
+			}
+			if same < rf-1 { // more than the one expected replica changed
+				moved++
+			}
+		}
+		_ = newN
+		return float64(moved) / float64(nKeys)
+	}
+
+	added := NewRing(append(append([]string(nil), shards...), "10.0.0.99:9000"), 0)
+	if f := churn(added, nShards+1); f > 2.5/float64(nShards+1) {
+		t.Fatalf("add-one churn %.3f exceeds bound %.3f", f, 2.5/float64(nShards+1))
+	}
+	removed := NewRing(shards[1:], 0)
+	if f := churn(removed, nShards-1); f > 2.5/float64(nShards) {
+		t.Fatalf("remove-one churn %.3f exceeds bound %.3f", f, 2.5/float64(nShards))
+	}
+
+	// And the direct primary-movement fractions: an added shard should own
+	// roughly 1/(N+1) of the primaries, never a wholesale reshuffle.
+	movedPrim := 0
+	for _, k := range keys {
+		if before.Primary(k) != added.Primary(k) {
+			movedPrim++
+		}
+	}
+	frac := float64(movedPrim) / float64(nKeys)
+	if frac > 2.5/float64(nShards+1) {
+		t.Fatalf("primary churn on add = %.3f, want <= %.3f", frac, 2.5/float64(nShards+1))
+	}
+	if movedPrim == 0 {
+		t.Fatal("adding a shard moved zero primaries — the new shard owns nothing")
+	}
+}
+
+// Placement balance: with 128 vnodes no shard should own a wildly
+// disproportionate share of primaries.
+func TestRingBalance(t *testing.T) {
+	shards := shardSet(8)
+	r := NewRing(shards, 0)
+	counts := map[string]int{}
+	for _, k := range keySet(4000) {
+		counts[r.Primary(k)]++
+	}
+	ideal := 4000.0 / 8
+	for s, n := range counts {
+		if float64(n) < 0.4*ideal || float64(n) > 2.0*ideal {
+			t.Fatalf("shard %s owns %d/4000 primaries (ideal %.0f) — ring is unbalanced", s, n, ideal)
+		}
+	}
+}
+
+func TestRingPlaceEdges(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if got := empty.Place("x", 2); got != nil {
+		t.Fatalf("empty ring Place = %v, want nil", got)
+	}
+	if got := empty.Primary("x"); got != "" {
+		t.Fatalf("empty ring Primary = %q, want \"\"", got)
+	}
+
+	r := NewRing(shardSet(3), 0)
+	if got := r.Place("x", 0); got != nil {
+		t.Fatalf("rf=0 Place = %v, want nil", got)
+	}
+	// rf beyond the shard count clamps to every shard, all distinct.
+	got := r.Place("x", 10)
+	if len(got) != 3 {
+		t.Fatalf("rf=10 over 3 shards returned %d entries: %v", len(got), got)
+	}
+	seen := map[string]bool{}
+	for _, s := range got {
+		if seen[s] {
+			t.Fatalf("duplicate shard %s in placement %v", s, got)
+		}
+		seen[s] = true
+	}
+	// The placement walk is a rotation: placement[0] must equal Primary.
+	if got[0] != r.Primary("x") {
+		t.Fatalf("placement head %s != primary %s", got[0], r.Primary("x"))
+	}
+}

@@ -1,0 +1,670 @@
+// The fleet router: one http.Handler that fronts N `currents server`
+// shards and exposes the same /v1/{dataset}/... API a single server does.
+//
+// Placement comes from the consistent-hash ring (ring.go): each dataset
+// lives on rf shards, the first being its primary. Reads try the placement
+// in order and fail over past shards that are down, erroring, or missing
+// the world (mid-rebalance); appends go to the primary and, once accepted,
+// fan out to the replicas so every copy advances through the same epochs.
+// A background prober polls each shard's /readyz — which verifies every
+// registered snapshot actually opens, not merely that the process is up —
+// and the prober's dataset inventory doubles as the rebalance catalog:
+// when /admin/ring changes the shard set, the router tells each shard that
+// newly owns a world to adopt it by streaming a peer's snapshot.
+//
+// The router holds no dataset state of its own, so routed responses are
+// byte-for-byte the shard's bytes — the golden suite pins routed answers
+// to direct-shard answers.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes the router.
+type Options struct {
+	// RF is the replication factor: how many shards host each dataset.
+	// Zero means DefaultRF.
+	RF int
+	// VNodes is the virtual-node count per shard (0 = DefaultVNodes).
+	VNodes int
+	// HealthInterval is the delay between readiness probe rounds once
+	// Start is called (0 = DefaultHealthInterval).
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one readiness probe (0 = DefaultProbeTimeout).
+	ProbeTimeout time.Duration
+	// MaxRequestBytes caps buffered proxy request bodies (0 = 1 MiB).
+	MaxRequestBytes int64
+	// Client issues proxied requests and rebalance adoptions; nil uses a
+	// dedicated client with pooled connections and no overall timeout
+	// (snapshot streams can be large).
+	Client *http.Client
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultRF is the replication factor when Options.RF is zero.
+const DefaultRF = 2
+
+// DefaultHealthInterval is the readiness probe period.
+const DefaultHealthInterval = 500 * time.Millisecond
+
+// DefaultProbeTimeout bounds one readiness probe round trip.
+const DefaultProbeTimeout = 2 * time.Second
+
+// shardState is the router's view of one shard, refreshed by the prober.
+type shardState struct {
+	addr  string
+	ready atomic.Bool
+	// datasets is the shard's inventory from its last successful probe
+	// (map[string]bool); nil until first probed.
+	datasets atomic.Value
+}
+
+func (s *shardState) has(ds string) bool {
+	m, _ := s.datasets.Load().(map[string]bool)
+	return m[ds]
+}
+
+func (s *shardState) datasetCount() int {
+	m, _ := s.datasets.Load().(map[string]bool)
+	return len(m)
+}
+
+// Router proxies the dataset API across a shard fleet. Create with
+// NewRouter, optionally Start the background prober, and Close when done.
+// Safe for concurrent use.
+type Router struct {
+	opt    Options
+	client *http.Client
+	probe  *http.Client
+	met    *routerMetrics
+
+	mu     sync.RWMutex
+	ring   *Ring
+	shards map[string]*shardState
+
+	stopOnce sync.Once
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewRouter builds a router over the given shard addresses (host:port) and
+// synchronously probes each once, so a router over live shards routes
+// immediately. Call Start to keep probing in the background.
+func NewRouter(shardAddrs []string, opt Options) (*Router, error) {
+	if opt.RF <= 0 {
+		opt.RF = DefaultRF
+	}
+	if opt.HealthInterval <= 0 {
+		opt.HealthInterval = DefaultHealthInterval
+	}
+	if opt.ProbeTimeout <= 0 {
+		opt.ProbeTimeout = DefaultProbeTimeout
+	}
+	if opt.MaxRequestBytes <= 0 {
+		opt.MaxRequestBytes = 1 << 20
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+		}}
+	}
+	ring := NewRing(shardAddrs, opt.VNodes)
+	if ring.Len() == 0 {
+		return nil, errors.New("cluster: router needs at least one shard")
+	}
+	rt := &Router{
+		opt:    opt,
+		client: client,
+		probe:  &http.Client{Timeout: opt.ProbeTimeout},
+		met:    newRouterMetrics(),
+		ring:   ring,
+		shards: make(map[string]*shardState, ring.Len()),
+		done:   make(chan struct{}),
+	}
+	for _, addr := range ring.Shards() {
+		rt.shards[addr] = &shardState{addr: addr}
+	}
+	rt.probeAll()
+	return rt, nil
+}
+
+// Start launches the background readiness prober.
+func (rt *Router) Start() {
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		t := time.NewTicker(rt.opt.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rt.done:
+				return
+			case <-t.C:
+				rt.probeAll()
+			}
+		}
+	}()
+}
+
+// Close stops the prober. Idempotent.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.done) })
+	rt.wg.Wait()
+}
+
+// shardList snapshots the current shard states.
+func (rt *Router) shardList() []*shardState {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]*shardState, 0, len(rt.shards))
+	for _, s := range rt.shards {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].addr < out[j].addr })
+	return out
+}
+
+// probeAll refreshes every shard's readiness and inventory, in parallel.
+func (rt *Router) probeAll() {
+	shards := rt.shardList()
+	var wg sync.WaitGroup
+	for _, s := range shards {
+		wg.Add(1)
+		go func(s *shardState) {
+			defer wg.Done()
+			rt.probeShard(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// probeShard polls one shard's /readyz: 200 means every registered world
+// is verified loadable, and the response carries the dataset inventory.
+// Any other status — including a 503 "loading" — leaves the shard out of
+// the routing set until it verifies.
+func (rt *Router) probeShard(s *shardState) {
+	resp, err := rt.probe.Get("http://" + s.addr + "/readyz")
+	if err != nil {
+		if s.ready.CompareAndSwap(true, false) {
+			rt.opt.Logf("shard %s down: %v", s.addr, err)
+		}
+		return
+	}
+	defer resp.Body.Close()
+	var rr struct {
+		Datasets []string `json:"datasets"`
+	}
+	dec := json.NewDecoder(io.LimitReader(resp.Body, 1<<20))
+	_ = dec.Decode(&rr)
+	if resp.StatusCode != http.StatusOK {
+		if s.ready.CompareAndSwap(true, false) {
+			rt.opt.Logf("shard %s not ready (status %d)", s.addr, resp.StatusCode)
+		}
+		return
+	}
+	inv := make(map[string]bool, len(rr.Datasets))
+	for _, ds := range rr.Datasets {
+		inv[ds] = true
+	}
+	s.datasets.Store(inv)
+	if s.ready.CompareAndSwap(false, true) {
+		rt.opt.Logf("shard %s ready (%d datasets)", s.addr, len(inv))
+	}
+}
+
+// Placement returns the rf shards responsible for a dataset, primary
+// first.
+func (rt *Router) Placement(dataset string) []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring.Place(dataset, rt.opt.RF)
+}
+
+// OwnerOf reports the primary shard for a dataset — the hint shards embed
+// in their unknown-dataset 404s.
+func (rt *Router) OwnerOf(dataset string) (string, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	p := rt.ring.Primary(dataset)
+	return p, p != ""
+}
+
+// ServeHTTP routes: the router's own /healthz and /metrics, the /admin/ring
+// control endpoint, and the proxied /v1/{dataset}/{op} API.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/healthz":
+		rt.handleHealth(w, r)
+		return
+	case "/metrics":
+		rt.handleMetrics(w, r)
+		return
+	case "/admin/ring":
+		rt.handleAdminRing(w, r)
+		return
+	}
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		rt.proxy(w, r)
+		return
+	}
+	writeJSON(w, http.StatusNotFound,
+		map[string]string{"error": "not found (try /healthz, /metrics, /admin/ring, /v1/{dataset}/{op})"})
+}
+
+// ShardHealth is one shard's state in the router's /healthz payload.
+type ShardHealth struct {
+	Addr     string   `json:"addr"`
+	Ready    bool     `json:"ready"`
+	Datasets []string `json:"datasets,omitempty"`
+}
+
+// RouterHealth is the router's /healthz payload.
+type RouterHealth struct {
+	Status string        `json:"status"`
+	RF     int           `json:"rf"`
+	Shards []ShardHealth `json:"shards"`
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed"})
+		return
+	}
+	h := RouterHealth{Status: "ok", RF: rt.opt.RF}
+	for _, s := range rt.shardList() {
+		sh := ShardHealth{Addr: s.addr, Ready: s.ready.Load()}
+		if m, _ := s.datasets.Load().(map[string]bool); len(m) > 0 {
+			sh.Datasets = make([]string, 0, len(m))
+			for ds := range m {
+				sh.Datasets = append(sh.Datasets, ds)
+			}
+			sort.Strings(sh.Datasets)
+		}
+		h.Shards = append(h.Shards, sh)
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed"})
+		return
+	}
+	status := make([]shardStatus, 0)
+	for _, s := range rt.shardList() {
+		status = append(status, shardStatus{addr: s.addr, ready: s.ready.Load(), datasets: s.datasetCount()})
+	}
+	var sb strings.Builder
+	rt.met.write(&sb, status)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, sb.String())
+}
+
+// AdminRingRequest reconfigures the shard set.
+type AdminRingRequest struct {
+	Shards []string `json:"shards"`
+}
+
+// Move is one rebalance action: dataset adopted onto To by streaming From's
+// snapshot.
+type Move struct {
+	Dataset string `json:"dataset"`
+	To      string `json:"to"`
+	From    string `json:"from"`
+	Error   string `json:"error,omitempty"`
+}
+
+// AdminRingResponse reports the accepted shard set and the rebalance moves
+// it triggered.
+type AdminRingResponse struct {
+	Shards []string `json:"shards"`
+	RF     int      `json:"rf"`
+	Moves  []Move   `json:"moves"`
+}
+
+func (rt *Router) handleAdminRing(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed"})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	var req AdminRingRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad ring request: " + err.Error()})
+		return
+	}
+	if len(req.Shards) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "ring needs at least one shard"})
+		return
+	}
+	moves := rt.SetShards(req.Shards)
+	resp := AdminRingResponse{RF: rt.opt.RF, Moves: moves}
+	rt.mu.RLock()
+	resp.Shards = rt.ring.Shards()
+	rt.mu.RUnlock()
+	if resp.Moves == nil {
+		resp.Moves = []Move{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SetShards replaces the ring's shard set and rebalances: every dataset
+// whose new placement includes a shard that does not hold it yet is
+// adopted there by streaming a current holder's snapshot. Returns the
+// executed moves. New shards are probed synchronously first, so a shard
+// that just booted empty participates immediately.
+func (rt *Router) SetShards(addrs []string) []Move {
+	ring := NewRing(addrs, rt.opt.VNodes)
+	rt.mu.Lock()
+	rt.ring = ring
+	next := make(map[string]*shardState, ring.Len())
+	for _, addr := range ring.Shards() {
+		if s, ok := rt.shards[addr]; ok {
+			next[addr] = s
+		} else {
+			next[addr] = &shardState{addr: addr}
+		}
+	}
+	rt.shards = next
+	rt.mu.Unlock()
+	rt.met.ringChanges.Add(1)
+	rt.opt.Logf("ring set to %d shard(s): %s", ring.Len(), strings.Join(ring.Shards(), ","))
+	rt.probeAll()
+	return rt.Rebalance()
+}
+
+// Rebalance walks the catalog (the union of every shard's probed
+// inventory) and pulls each dataset onto the placement shards that lack
+// it, streaming a holder's snapshot via the shard adopt endpoint. Safe to
+// call repeatedly; adoption is idempotent on the shard side.
+func (rt *Router) Rebalance() []Move {
+	shards := rt.shardList()
+	holders := map[string][]string{} // dataset -> shards holding it, sorted
+	for _, s := range shards {
+		if m, _ := s.datasets.Load().(map[string]bool); m != nil {
+			for ds := range m {
+				holders[ds] = append(holders[ds], s.addr)
+			}
+		}
+	}
+	catalog := make([]string, 0, len(holders))
+	for ds := range holders {
+		sort.Strings(holders[ds])
+		catalog = append(catalog, ds)
+	}
+	sort.Strings(catalog)
+
+	byAddr := make(map[string]*shardState, len(shards))
+	for _, s := range shards {
+		byAddr[s.addr] = s
+	}
+	var moves []Move
+	adopted := map[string]bool{} // addrs that gained worlds, re-probed below
+	for _, ds := range catalog {
+		for _, target := range rt.Placement(ds) {
+			ts := byAddr[target]
+			if ts == nil || ts.has(ds) {
+				continue
+			}
+			src := pickSource(holders[ds], byAddr)
+			if src == "" {
+				continue
+			}
+			mv := Move{Dataset: ds, To: target, From: src}
+			if err := rt.adopt(target, ds, src); err != nil {
+				mv.Error = err.Error()
+				rt.met.rebalanceErrs.Add(1)
+				rt.opt.Logf("rebalance: adopt %s onto %s from %s: %v", ds, target, src, err)
+			} else {
+				rt.met.rebalanceAdopts.Add(1)
+				adopted[target] = true
+				rt.opt.Logf("rebalance: adopted %s onto %s from %s", ds, target, src)
+			}
+			moves = append(moves, mv)
+		}
+	}
+	for addr := range adopted {
+		if s := byAddr[addr]; s != nil {
+			rt.probeShard(s)
+		}
+	}
+	return moves
+}
+
+// pickSource prefers a ready holder; any holder otherwise.
+func pickSource(holding []string, byAddr map[string]*shardState) string {
+	for _, addr := range holding {
+		if s := byAddr[addr]; s != nil && s.ready.Load() {
+			return addr
+		}
+	}
+	if len(holding) > 0 {
+		return holding[0]
+	}
+	return ""
+}
+
+// adopt tells target to pull dataset from src's snapshot stream.
+func (rt *Router) adopt(target, dataset, src string) error {
+	from := "http://" + src + "/v1/" + dataset + "/snapshot"
+	u := "http://" + target + "/v1/" + dataset + "/adopt?from=" + url.QueryEscape(from)
+	resp, err := rt.client.Post(u, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("adopt: shard answered %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// proxy forwards one /v1/{dataset}/{op} request to the dataset's placement.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/")
+	name, op, ok := strings.Cut(rest, "/")
+	if !ok || name == "" || op == "" {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "not found: want /v1/{dataset}/{op}"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.opt.MaxRequestBytes))
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		status := http.StatusBadRequest
+		if errors.As(err, &maxErr) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	placement := rt.Placement(name)
+	if len(placement) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no shards on the ring"})
+		return
+	}
+	if op == "append" || op == "adopt" {
+		rt.proxyWrite(w, r, name, placement, body)
+		return
+	}
+	rt.proxyRead(w, r, placement, body)
+}
+
+// shardRequest issues the request against one shard and returns the full
+// response. A nil error with any status is a shard answer; an error is a
+// transport failure.
+func (rt *Router) shardRequest(r *http.Request, addr string, body []byte) (*http.Response, []byte, error) {
+	u := "http://" + addr + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequest(r.Method, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	start := time.Now()
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.met.observe(addr, time.Since(start), true)
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	failed := err != nil || resp.StatusCode >= 500
+	rt.met.observe(addr, time.Since(start), failed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, respBody, nil
+}
+
+// retriable reports whether a shard answer should fail over to the next
+// replica: server-side failures, and 404s (the world may not have reached
+// this shard yet mid-rebalance, while a replica still serves it).
+func retriable(status int) bool {
+	return status >= 500 || status == http.StatusNotFound
+}
+
+// proxyRead forwards a read, failing over along the placement. Shards the
+// prober marked down are skipped up front; a transport error or retriable
+// status moves on to the next replica. When every attempt fails the most
+// informative response wins: the last shard answer if any, else 502.
+func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, placement []string, body []byte) {
+	tried := 0
+	var lastResp *http.Response
+	var lastBody []byte
+	var lastErr error
+	attempt := func(addr string) bool {
+		tried++
+		resp, respBody, err := rt.shardRequest(r, addr, body)
+		if err != nil {
+			lastErr = err
+			return false
+		}
+		lastResp, lastBody = resp, respBody
+		return !retriable(resp.StatusCode)
+	}
+	for _, addr := range placement {
+		if !rt.isReady(addr) {
+			continue
+		}
+		if tried > 0 {
+			rt.met.failovers.Add(1)
+		}
+		if attempt(addr) {
+			relay(w, lastResp, lastBody)
+			return
+		}
+	}
+	// Every placement shard was down or failed; as a last resort try the
+	// down-marked ones too — the prober's view may be stale.
+	for _, addr := range placement {
+		if rt.isReady(addr) {
+			continue
+		}
+		if tried > 0 {
+			rt.met.failovers.Add(1)
+		}
+		if attempt(addr) {
+			relay(w, lastResp, lastBody)
+			return
+		}
+	}
+	if lastResp != nil {
+		relay(w, lastResp, lastBody)
+		return
+	}
+	msg := "no shard could serve the request"
+	if lastErr != nil {
+		msg = lastErr.Error()
+	}
+	writeJSON(w, http.StatusBadGateway, map[string]string{"error": msg})
+}
+
+// proxyWrite forwards an append (or adopt) to the dataset's primary and,
+// when the primary accepts an append, fans the same batch out to the
+// replicas so every copy advances to the same epoch. Replica failures are
+// counted and logged but do not fail the client's request — the replica
+// re-converges on the next rebalance adopt.
+func (rt *Router) proxyWrite(w http.ResponseWriter, r *http.Request, name string, placement []string, body []byte) {
+	primary := placement[0]
+	resp, respBody, err := rt.shardRequest(r, primary, body)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway,
+			map[string]string{"error": fmt.Sprintf("primary %s: %v", primary, err)})
+		return
+	}
+	if r.URL.Path == "/v1/"+name+"/append" && resp.StatusCode == http.StatusOK {
+		for _, replica := range placement[1:] {
+			rt.met.replicaAppends.Add(1)
+			rresp, rbody, rerr := rt.shardRequest(r, replica, body)
+			if rerr != nil || rresp.StatusCode != http.StatusOK {
+				rt.met.replicaAppErrs.Add(1)
+				if rerr != nil {
+					rt.opt.Logf("append %s: replica %s: %v", name, replica, rerr)
+				} else {
+					rt.opt.Logf("append %s: replica %s answered %d: %s",
+						name, replica, rresp.StatusCode, strings.TrimSpace(string(rbody)))
+				}
+			}
+		}
+	}
+	relay(w, resp, respBody)
+}
+
+// isReady reports the prober's view of a shard; unknown shards are not
+// ready.
+func (rt *Router) isReady(addr string) bool {
+	rt.mu.RLock()
+	s := rt.shards[addr]
+	rt.mu.RUnlock()
+	return s != nil && s.ready.Load()
+}
+
+// relay copies a shard response to the client byte-for-byte.
+func relay(w http.ResponseWriter, resp *http.Response, body []byte) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b = []byte(`{"error":"encoding failure"}`)
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(b, '\n'))
+}

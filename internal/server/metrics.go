@@ -15,7 +15,7 @@ import (
 // ops is the fixed label set; one opMetrics per entry. "other" counts
 // requests that matched no dataset/operation (404 traffic must still be
 // visible to an operator watching /metrics).
-var ops = []string{"accuracy", "answer", "append", "fuse", "healthz", "history", "link", "metrics", "other", "recommend", "trajectory"}
+var ops = []string{"accuracy", "adopt", "answer", "append", "fuse", "healthz", "history", "link", "metrics", "other", "readyz", "recommend", "snapshot", "trajectory"}
 
 // latencyBuckets are the histogram upper bounds in seconds.
 var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5}

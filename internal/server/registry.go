@@ -73,6 +73,11 @@ type entry struct {
 	updateMu sync.Mutex
 	swaps    atomic.Int64
 	appends  atomic.Int64
+	// verified records that the entry's snapshot has been proven loadable at
+	// least once (a successful load, adopt validation, or /readyz probe).
+	// Eviction keeps the bit: the file on disk was good and is not rewritten
+	// by eviction, so readiness probes stay cheap for evicted worlds.
+	verified atomic.Bool
 	// grave holds mapped historical sessions that fell out of the epoch
 	// retention window (drained from the session spine on Update). They are
 	// closed only when pins reaches zero — an in-flight as-of request
@@ -147,7 +152,9 @@ func (r *Registry) Register(name string, s *session.Session) error {
 	if _, ok := r.entries[name]; ok {
 		return fmt.Errorf("server: dataset %q already registered", name)
 	}
-	r.entries[name] = &entry{sess: s, epoch: uint64(s.DatasetEpoch()), loaded: true}
+	e := &entry{sess: s, epoch: uint64(s.DatasetEpoch()), loaded: true}
+	e.verified.Store(true)
+	r.entries[name] = e
 	return nil
 }
 
@@ -241,6 +248,7 @@ func (r *Registry) load(e *entry) error {
 	}
 	r.mu.Lock()
 	e.sess = s
+	e.verified.Store(true)
 	if !e.loaded {
 		e.epoch = uint64(s.DatasetEpoch())
 		e.loaded = true
@@ -453,6 +461,77 @@ func (r *Registry) Residency() ResidencyStats {
 	return rs
 }
 
+// ReadyStatus is one dataset's readiness verification result.
+type ReadyStatus struct {
+	Name string
+	Err  error // nil when the world is verified loadable
+}
+
+// VerifyAll actively proves every registered world loadable: resident
+// sessions and previously-verified entries pass immediately; an unverified
+// lazy manifest is opened end to end (full container validation, typed
+// section views) and closed again, caching the verdict on success. This is
+// the /readyz work — a router probing it never routes to a shard whose
+// snapshot is corrupt, which /healthz's magic-sniff registration cannot
+// promise. Results come back sorted by name.
+func (r *Registry) VerifyAll() []ReadyStatus {
+	r.mu.RLock()
+	snap := make(map[string]*entry, len(r.entries))
+	for name, e := range r.entries {
+		snap[name] = e
+	}
+	r.mu.RUnlock()
+	out := make([]ReadyStatus, 0, len(snap))
+	for name, e := range snap {
+		st := ReadyStatus{Name: name}
+		if !e.verified.Load() {
+			// Serialize with real loads so a concurrent first request and a
+			// readiness probe don't validate the same file twice.
+			e.loadMu.Lock()
+			if !e.verified.Load() && e.sess == nil {
+				if e.spec == nil {
+					st.Err = fmt.Errorf("server: dataset %q has no snapshot to verify", name)
+				} else if s, err := session.LoadSnapshotFile(e.spec.path, e.spec.cfg); err != nil {
+					st.Err = fmt.Errorf("server: verify %s: %w", e.spec.path, err)
+				} else {
+					_ = s.Close()
+					e.verified.Store(true)
+				}
+			}
+			e.loadMu.Unlock()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AllVerified reports whether every registered world has already been
+// proven loadable, without triggering any load — the cheap "loading vs
+// ready" distinction /healthz exposes. A freshly booted lazy server reports
+// false here until its worlds are first touched or /readyz verifies them.
+func (r *Registry) AllVerified() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.entries {
+		if !e.verified.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// markVerified caches a loadability verdict proven externally (adopt
+// validates the fetched snapshot end to end before registering it).
+func (r *Registry) markVerified(name string) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if ok {
+		e.verified.Store(true)
+	}
+}
+
 // Names returns the registered dataset names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
@@ -483,6 +562,17 @@ func (r *Registry) Len() int {
 // skipped. logf, when non-nil, receives one line per dataset (used by the
 // CLI to report cold-start progress); pass nil to load silently.
 func LoadDir(dir string, cfg session.Config, logf func(format string, args ...any)) (*Registry, error) {
+	return loadDir(dir, cfg, logf, false)
+}
+
+// LoadDirAllowEmpty is LoadDir for fleet shards: a directory with no
+// datasets is not an error, because a fresh shard legitimately boots empty
+// and adopts its assigned worlds from peers via snapshot streaming.
+func LoadDirAllowEmpty(dir string, cfg session.Config, logf func(format string, args ...any)) (*Registry, error) {
+	return loadDir(dir, cfg, logf, true)
+}
+
+func loadDir(dir string, cfg session.Config, logf func(format string, args ...any), allowEmpty bool) (*Registry, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
@@ -558,7 +648,7 @@ func LoadDir(dir string, cfg session.Config, logf func(format string, args ...an
 			return nil, err
 		}
 	}
-	if reg.Len() == 0 {
+	if reg.Len() == 0 && !allowEmpty {
 		return nil, fmt.Errorf("server: no datasets (*.snap, *.csv) in %s", dir)
 	}
 	if err := replaySegments(reg, segs, logf); err != nil {

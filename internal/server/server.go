@@ -12,7 +12,10 @@
 //	POST /v1/{dataset}/recommend  trust-ranked source recommendation
 //	POST /v1/{dataset}/link       record-linkage clusters
 //	GET  /v1/{dataset}/accuracy   discovered per-source accuracies
-//	GET  /healthz                 liveness + registered datasets
+//	GET  /v1/{dataset}/snapshot   stream the v2 snapshot (replica bootstrap)
+//	POST /v1/{dataset}/adopt      pull + validate + register a peer snapshot
+//	GET  /healthz                 liveness + registered datasets (+ ready bit)
+//	GET  /readyz                  active readiness: every world verifiably opens
 //	GET  /metrics                 Prometheus text metrics
 //
 // Sessions are immutable; an append builds a successor session (delta
@@ -38,6 +41,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/http"
 	"os"
@@ -51,6 +55,7 @@ import (
 	"sourcecurrents/internal/model"
 	"sourcecurrents/internal/probdb"
 	"sourcecurrents/internal/session"
+	"sourcecurrents/internal/snapio"
 )
 
 // DefaultMaxRequestBytes caps request bodies when Options.MaxRequestBytes
@@ -83,6 +88,19 @@ type Options struct {
 	// Logf, when non-nil, receives operational log lines (append
 	// persistence, compaction). Pass nil to run silently.
 	Logf func(format string, args ...any)
+	// AdoptDir, when set, enables POST /v1/{dataset}/adopt: fetched
+	// snapshots are validated and installed here (typically the same
+	// directory the registry loaded from). Empty disables adoption.
+	AdoptDir string
+	// SessionCfg is the session configuration adopted snapshots load under —
+	// the same config the server's other worlds use, so an adopted world
+	// serves identically to a locally loaded one.
+	SessionCfg session.Config
+	// OwnerOf, when non-nil, resolves a dataset name to the fleet address
+	// that owns it (the ring primary). Unknown-dataset 404s then carry the
+	// owner in the error body so a client that hit the wrong shard can
+	// retry at the right one.
+	OwnerOf func(dataset string) (addr string, ok bool)
 }
 
 // DefaultCompactEvery is the segment count that triggers log compaction
@@ -118,9 +136,12 @@ func New(reg *Registry, opt Options) *Server {
 	}
 }
 
-// ErrorResponse is the JSON error payload.
+// ErrorResponse is the JSON error payload. Owner, when set on an
+// unknown-dataset 404, is the fleet address of the shard that does serve
+// the dataset — the hint `currents append` follows to reach the primary.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Owner string `json:"owner,omitempty"`
 }
 
 // response is an internal fully-rendered reply.
@@ -128,6 +149,8 @@ type response struct {
 	status      int
 	contentType string
 	body        []byte
+	// headers are extra response headers (the snapshot stream's CRC).
+	headers map[string]string
 }
 
 // encodeBuffer is a pooled JSON encode buffer: the encoder's scratch and
@@ -200,6 +223,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	} {
 		w.Header().Set(k, v)
 	}
+	for k, v := range resp.headers {
+		w.Header().Set(k, v)
+	}
 	w.WriteHeader(resp.status)
 	_, _ = w.Write(resp.body)
 	s.met.observe(op, time.Since(start), resp.status)
@@ -214,7 +240,16 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) (string, response
 		if r.Method != http.MethodGet {
 			return "healthz", methodNotAllowed(w, http.MethodGet)
 		}
-		return "healthz", jsonResponse(http.StatusOK, BuildHealthResponse(s.reg.Names()))
+		// Liveness plus the loading-vs-ready distinction: Ready is a cheap
+		// all-verified check that never triggers a load, so a booting lazy
+		// server answers ok/ready:false until its worlds prove loadable.
+		return "healthz", jsonResponse(http.StatusOK,
+			BuildHealthResponse(s.reg.Names(), s.reg.AllVerified()))
+	case "/readyz":
+		if r.Method != http.MethodGet {
+			return "readyz", methodNotAllowed(w, http.MethodGet)
+		}
+		return "readyz", s.handleReadyz()
 	case "/metrics":
 		if r.Method != http.MethodGet {
 			return "metrics", methodNotAllowed(w, http.MethodGet)
@@ -241,6 +276,14 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) (string, response
 		return "other", jsonResponse(http.StatusNotFound,
 			ErrorResponse{Error: "not found: want /v1/{dataset}/{answer|fuse|recommend|link|accuracy|history|trajectory}"})
 	}
+	// Adoption targets a dataset this shard does not serve yet, so it is
+	// dispatched before the registry lookup that would 404 it.
+	if op == "adopt" {
+		if r.Method != http.MethodPost {
+			return "adopt", methodNotAllowed(w, http.MethodPost)
+		}
+		return "adopt", s.handleAdopt(r, name)
+	}
 	// Acquire pins the session for the request's lifetime: a lazy world
 	// loads on this first touch, and eviction under -max-resident cannot
 	// unmap the snapshot while any request still reads from it. The pin
@@ -248,8 +291,16 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) (string, response
 	// closes retired mapped epochs only once the entry's pins drain.
 	sess, epoch, release, err := s.reg.Acquire(name)
 	if errors.Is(err, ErrUnknownDataset) {
-		return "other", jsonResponse(http.StatusNotFound,
-			ErrorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
+		er := ErrorResponse{Error: fmt.Sprintf("unknown dataset %q", name)}
+		// In a fleet, "unknown here" usually means "owned elsewhere": embed
+		// the ring primary so the client can retry at the right shard.
+		if s.opt.OwnerOf != nil {
+			if owner, ok := s.opt.OwnerOf(name); ok {
+				er.Owner = owner
+				er.Error += fmt.Sprintf(" (owned by %s)", owner)
+			}
+		}
+		return "other", jsonResponse(http.StatusNotFound, er)
 	}
 	if err != nil {
 		return "other", errResponse(err)
@@ -313,6 +364,11 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) (string, response
 			return op, methodNotAllowed(w, http.MethodGet)
 		}
 		return op, s.handleTrajectory(r, name, sess)
+	case "snapshot":
+		if r.Method != http.MethodGet {
+			return op, methodNotAllowed(w, http.MethodGet)
+		}
+		return op, s.handleSnapshot(sess)
 	}
 	return "other", jsonResponse(http.StatusNotFound,
 		ErrorResponse{Error: fmt.Sprintf("unknown operation %q", op)})
@@ -565,4 +621,85 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request, sess *sessio
 		return errResponse(err)
 	}
 	return jsonResponse(http.StatusOK, BuildLinkResponse(res))
+}
+
+// handleReadyz actively verifies every registered world opens (cached after
+// the first success), answering 200 only when the whole shard is servable.
+// The body carries the dataset inventory either way — the router's prober
+// reads it to build the fleet catalog — and per-dataset failures when
+// unready, so an operator can see exactly which snapshot is bad.
+func (s *Server) handleReadyz() response {
+	checks := s.reg.VerifyAll()
+	resp := ReadyResponse{Status: "ready"}
+	status := http.StatusOK
+	for _, c := range checks {
+		resp.Datasets = append(resp.Datasets, c.Name)
+		if c.Err != nil {
+			resp.Failures = append(resp.Failures, ReadyFailure{Dataset: c.Name, Error: c.Err.Error()})
+		}
+	}
+	if len(resp.Failures) > 0 {
+		resp.Status = "unready"
+		status = http.StatusServiceUnavailable
+	}
+	if resp.Datasets == nil {
+		resp.Datasets = []string{}
+	}
+	return jsonResponse(status, resp)
+}
+
+// handleSnapshot streams the session's v2 snapshot container: the mapped
+// bytes verbatim when the session is snapshot-backed (copied while the
+// registry pin still holds — the response outlives the pin), rendered fresh
+// for heap-built or appended sessions so every world is adoptable. The
+// whole-stream CRC rides in a header; the container's section payloads are
+// unchecksummed by design, so this is what catches in-transit bit flips.
+func (s *Server) handleSnapshot(sess *session.Session) response {
+	var body []byte
+	if mapped := sess.MappedSnapshot(); mapped != nil {
+		body = append([]byte(nil), mapped...)
+	} else {
+		var buf bytes.Buffer
+		if err := sess.WriteSnapshotV2(&buf); err != nil {
+			return errResponse(err)
+		}
+		body = buf.Bytes()
+	}
+	return response{
+		status:      http.StatusOK,
+		contentType: "application/octet-stream",
+		body:        body,
+		headers: map[string]string{
+			SnapshotCRCHeader: strconv.FormatUint(uint64(crc32.ChecksumIEEE(body)), 10),
+		},
+	}
+}
+
+// AdoptResponse is the /v1/{dataset}/adopt success payload.
+type AdoptResponse struct {
+	Dataset string `json:"dataset"`
+	// Status is "adopted" for a fresh pull, "exists" when the shard already
+	// served the dataset (idempotent retry).
+	Status string `json:"status"`
+}
+
+// handleAdopt pulls a snapshot stream from the `from` URL and registers it
+// under name. Integrity failures surface as 502 (the upstream bytes were
+// bad), bad requests as 400; an already-registered dataset is success.
+func (s *Server) handleAdopt(r *http.Request, name string) response {
+	from := r.URL.Query().Get("from")
+	if from == "" {
+		return errResponse(fmt.Errorf("%w: adopt needs ?from=<snapshot URL>", ErrBadRequest))
+	}
+	err := AdoptFromURL(s.reg, name, from, s.opt.AdoptDir, s.opt.SessionCfg, nil)
+	switch {
+	case errors.Is(err, ErrAlreadyRegistered):
+		return jsonResponse(http.StatusOK, AdoptResponse{Dataset: name, Status: "exists"})
+	case errors.Is(err, snapio.ErrCorrupt):
+		return jsonResponse(http.StatusBadGateway, ErrorResponse{Error: err.Error()})
+	case err != nil:
+		return errResponse(err)
+	}
+	s.opt.Logf("adopted %q from %s", name, from)
+	return jsonResponse(http.StatusOK, AdoptResponse{Dataset: name, Status: "adopted"})
 }

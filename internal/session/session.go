@@ -310,6 +310,17 @@ func (s *Session) MappedBytes() int64 {
 	return s.mapped.Size()
 }
 
+// MappedSnapshot returns the raw v2 snapshot container backing this
+// session, or nil for an eager (heap-built) session. The bytes alias the
+// mapping — valid only while the caller's registry pin holds — so snapshot
+// streaming copies them before the pin releases.
+func (s *Session) MappedSnapshot() []byte {
+	if s.mapped == nil {
+		return nil
+	}
+	return s.mapped.Bytes()
+}
+
 // Close releases a mapped session's snapshot mapping; eager sessions are
 // untouched (nil error). After Close no serving call may run: the planner
 // and any strings previously returned by answers alias the mapping. Callers

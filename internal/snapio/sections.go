@@ -220,6 +220,12 @@ func (m *Mapped) Version() uint32 { return m.version }
 // Size returns the mapped length in bytes.
 func (m *Mapped) Size() int64 { return int64(len(m.data)) }
 
+// Bytes returns the full mapped container, header and all — the exact bytes
+// on disk, which is what snapshot streaming serves to a bootstrapping
+// replica. The slice aliases the mapping: callers must copy anything that
+// outlives their pin on the session.
+func (m *Mapped) Bytes() []byte { return m.data }
+
 // Section returns the raw bytes of section id; ok is false when absent.
 // The slice aliases the mapping.
 func (m *Mapped) Section(id uint32) ([]byte, bool) {

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Fleet end-to-end: boot 3 shards + a router on loopback and drive the whole
+# sharded-serving story from outside the process boundary —
+#
+#   1. routed answers are byte-identical to every direct shard answer (and to
+#      the checked-in golden),
+#   2. killing a shard mid-`loadgen -router` run costs ZERO failed reads at
+#      rf=2 (failover must hide the loss),
+#   3. a shard's unknown-dataset 404 carries the ring owner's address,
+#   4. an empty 4th shard bootstraps purely by snapshot streaming (adopt),
+#      then serves the same bytes,
+#   5. POST /admin/ring rebalances onto the new shard set and routed reads
+#      keep answering the golden bytes,
+#   6. `currents append` lands through the router and reports the new epoch.
+#
+#   scripts/fleet_e2e.sh [port-base]
+#
+# Shards listen on port-base+1..+4 (default 19001..19004), the router on
+# port-base+80 (default 19080).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE="${1:-19000}"
+P1=$((BASE + 1)); P2=$((BASE + 2)); P3=$((BASE + 3)); P4=$((BASE + 4))
+PR=$((BASE + 80))
+S1="127.0.0.1:$P1"; S2="127.0.0.1:$P2"; S3="127.0.0.1:$P3"; S4="127.0.0.1:$P4"
+ROUTER="http://127.0.0.1:$PR"
+
+BIN="${CURRENTS_BIN:-/tmp/currents-fleet}"
+WORK="$(mktemp -d /tmp/fleet-e2e.XXXXXX)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/currents
+
+mkdir -p "$WORK"/s1 "$WORK"/s2 "$WORK"/s3 "$WORK"/s4
+"$BIN" snapshot -o "$WORK"/s1/ci.snap internal/server/testdata/ci_claims.csv
+cp "$WORK"/s1/ci.snap "$WORK"/s2/ci.snap
+cp "$WORK"/s1/ci.snap "$WORK"/s3/ci.snap
+
+# Every shard knows the ring, so a mis-aimed request 404s with the owner's
+# address; -adopt-dir load lets the rebalancer stream worlds onto it.
+RING="$S1,$S2,$S3"
+start_shard() { # port dir self extra...
+  local port="$1" dir="$2" self="$3"; shift 3
+  "$BIN" server -addr "127.0.0.1:$port" -load "$dir" -adopt-dir load \
+    -ring "$RING" -self "$self" "$@" 2>>"$WORK/shard-$port.log" &
+  PIDS+=("$!")
+}
+start_shard "$P1" "$WORK/s1" "$S1"; SHARD1_PID="${PIDS[-1]}"
+start_shard "$P2" "$WORK/s2" "$S2"; SHARD2_PID="${PIDS[-1]}"
+start_shard "$P3" "$WORK/s3" "$S3"; SHARD3_PID="${PIDS[-1]}"
+
+wait_ready() { # url
+  for _ in $(seq 1 75); do
+    curl -fs "$1" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  echo "fleet_e2e: $1 never became ready" >&2
+  return 1
+}
+wait_ready "http://$S1/readyz"
+wait_ready "http://$S2/readyz"
+wait_ready "http://$S3/readyz"
+
+"$BIN" router -addr "127.0.0.1:$PR" -shards "$RING" -rf 2 2>>"$WORK/router.log" &
+PIDS+=("$!")
+wait_ready "$ROUTER/healthz"
+
+REQ=internal/server/testdata/ci_answer_request.json
+GOLDEN=internal/server/testdata/ci_answer_golden.json
+
+# --- 1. Golden byte-diff: routed vs every direct shard vs the checked-in file.
+curl -fs -X POST --data-binary @"$REQ" "$ROUTER/v1/ci/answer" > "$WORK/routed.json"
+diff "$GOLDEN" "$WORK/routed.json"
+for s in "$S1" "$S2" "$S3"; do
+  curl -fs -X POST --data-binary @"$REQ" "http://$s/v1/ci/answer" > "$WORK/direct.json"
+  diff "$WORK/routed.json" "$WORK/direct.json"
+done
+echo "fleet_e2e: routed answers byte-identical to direct (3 shards) and golden"
+
+# --- 2. Kill a shard mid-run: rf=2 failover must hide it (zero failed reads).
+"$BIN" loadgen -addr "$ROUTER" -dataset ci -router \
+  -query "Dong,affiliation;Carey,affiliation" -concurrency 4 -duration 6s \
+  > "$WORK/loadgen.txt" 2>&1 &
+LOADGEN_PID="$!"
+sleep 2
+kill -9 "$SHARD3_PID"
+echo "fleet_e2e: killed shard $S3 mid-run"
+wait "$LOADGEN_PID"   # loadgen -router exits nonzero on any failed read
+grep 'router mode PASS: zero failed reads' "$WORK/loadgen.txt"
+cat "$WORK/loadgen.txt"
+
+# --- 3. Unknown-dataset 404 carries the ring owner's address.
+curl -s "http://$S1/v1/nosuchworld/accuracy" > "$WORK/404.json" || true
+grep -q 'owned by' "$WORK/404.json"
+grep -q '"owner"' "$WORK/404.json"
+echo "fleet_e2e: non-owner 404 carries the owner hint"
+
+# --- 4. Replica bootstrap purely by snapshot streaming: an empty shard
+#        adopts the world from a peer and serves identical bytes.
+start_shard "$P4" "$WORK/s4" "$S4" -allow-empty
+wait_ready "http://$S4/readyz"
+ADOPT="$(curl -fs -X POST "http://$S4/v1/ci/adopt?from=http://$S1/v1/ci/snapshot")"
+echo "$ADOPT" | grep -q '"status":"adopted"'
+curl -fs -X POST --data-binary @"$REQ" "http://$S4/v1/ci/answer" > "$WORK/adopted.json"
+diff "$GOLDEN" "$WORK/adopted.json"
+echo "fleet_e2e: empty shard bootstrapped by snapshot streaming, answers match golden"
+
+# --- 5. Rebalance onto the surviving shard set and keep serving golden bytes.
+curl -fs -X POST -d "{\"shards\":[\"$S1\",\"$S2\",\"$S4\"]}" "$ROUTER/admin/ring" > "$WORK/ring.json"
+grep -q '"shards"' "$WORK/ring.json"
+curl -fs -X POST --data-binary @"$REQ" "$ROUTER/v1/ci/answer" > "$WORK/rebalanced.json"
+diff "$GOLDEN" "$WORK/rebalanced.json"
+curl -fs "$ROUTER/metrics" | grep '^currents_router_ring_changes_total 1$'
+echo "fleet_e2e: rebalanced ring still serves golden bytes through the router"
+
+# --- 6. Append lands through the router and reports the new epoch.
+"$BIN" append -addr "$ROUTER" -dataset ci internal/server/testdata/ci_claims.csv \
+  2> "$WORK/append.txt"
+grep -q 'epoch 1' "$WORK/append.txt"
+curl -fs -X POST --data-binary @"$REQ" "$ROUTER/v1/ci/answer" >/dev/null
+echo "fleet_e2e: append through the router advanced the dataset to epoch 1"
+
+echo "fleet_e2e: PASS"

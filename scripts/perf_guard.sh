@@ -27,6 +27,8 @@ if [ ! -s "$OUT" ]; then
     -benchtime 5x -benchmem -run '^$' ./internal/server/ >> "$TMP"
   go test -short -bench '^(BenchmarkSnapshotLoadV[12]|BenchmarkSessionAsOf)$' \
     -benchtime 2x -benchmem -run '^$' ./internal/session/ >> "$TMP"
+  go test -short -bench '^BenchmarkRouterAnswer$' \
+    -benchtime 20x -benchmem -run '^$' ./internal/cluster/ >> "$TMP"
   mv "$TMP" "$OUT"
   trap - EXIT
 fi
