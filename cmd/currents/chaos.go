@@ -1,0 +1,104 @@
+// The chaos subcommand: an HTTP fault-injection proxy for fleet drills,
+// plus the ring helper that prints dataset placements so scripts can pick
+// which shard to misbehave.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sourcecurrents/internal/chaos"
+	"sourcecurrents/internal/cluster"
+)
+
+// runChaos fronts one upstream shard with a chaos.Proxy and serves the
+// fault admin API on a second listener. The proxy address goes on the
+// router's ring in place of the real shard; flipping faults at runtime via
+// the admin port is how fleet_e2e.sh turns a healthy shard slow, black,
+// or flappy without touching the shard process.
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	listen := fs.String("listen", "", "data listen address, e.g. 127.0.0.1:19101 (required)")
+	upstream := fs.String("upstream", "", "upstream shard address host:port (required)")
+	admin := fs.String("admin", "", "admin listen address for GET/POST /faults (required)")
+	seed := fs.Int64("seed", 1, "seed for the probabilistic error-injection roll")
+	faultsJSON := fs.String("faults", "", `initial faults as JSON, e.g. '{"latency_ms":500}' (default: none)`)
+	_ = fs.Parse(args)
+	if *listen == "" || *upstream == "" || *admin == "" || fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: currents chaos -listen host:port -upstream host:port -admin host:port [-seed N] [-faults JSON]")
+		os.Exit(2)
+	}
+
+	var f chaos.Faults
+	if *faultsJSON != "" {
+		dec := json.NewDecoder(strings.NewReader(*faultsJSON))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&f); err != nil {
+			return fmt.Errorf("chaos: bad -faults: %w", err)
+		}
+	}
+
+	p, err := chaos.New(*listen, *upstream, f, *seed)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	fmt.Fprintf(os.Stderr, "chaos: proxying %s -> %s, admin on %s\n", p.Addr(), *upstream, *admin)
+
+	adminSrv := &http.Server{
+		Addr:              *admin,
+		Handler:           p.AdminHandler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- adminSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "chaos: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = adminSrv.Shutdown(shutdownCtx)
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := p.Stats()
+	fmt.Fprintf(os.Stderr, "chaos: stopped (proxied %d, delayed %d, blackholed %d, resets %d, errors %d, truncated %d)\n",
+		st.Proxied, st.Delayed, st.Blackholed, st.Resets, st.Errors, st.Truncated)
+	return nil
+}
+
+// runRing prints the placement the router would compute for each named
+// dataset: "name primary replica...". Scripts use it to find a dataset
+// whose primary (or replica) sits behind a particular proxy address before
+// injecting faults there.
+func runRing(args []string) error {
+	fs := flag.NewFlagSet("ring", flag.ExitOnError)
+	shards := fs.String("shards", "", "comma-separated shard addresses host:port,... (required)")
+	rf := fs.Int("rf", cluster.DefaultRF, "replication factor: shards per dataset")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
+	_ = fs.Parse(args)
+	if *shards == "" || fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: currents ring -shards host1:9001,host2:9002[,...] [-rf N] [-vnodes N] dataset...")
+		os.Exit(2)
+	}
+	ring := cluster.NewRing(strings.Split(*shards, ","), *vnodes)
+	for _, name := range fs.Args() {
+		fmt.Println(name + " " + strings.Join(ring.Place(name, *rf), " "))
+	}
+	return nil
+}

@@ -42,6 +42,14 @@
 //	    refines the batch into a successor session and epoch-swaps it in;
 //	    a 404 from a non-owner shard is retried once at the owner address
 //	    the error body names
+//	currents chaos -listen host:port -upstream host:port -admin host:port [-seed N] [-faults JSON]
+//	    fault-injection proxy for fleet drills: forwards HTTP to one shard
+//	    while injecting latency, blackholes, connection resets, truncated
+//	    bodies, or probabilistic 5xx; faults flip at runtime via GET/POST
+//	    /faults on the admin port
+//	currents ring -shards host1:9001,host2:9002[,...] [-rf N] [-vnodes N] dataset...
+//	    print each dataset's ring placement (primary first), exactly as the
+//	    router would compute it — lets scripts pick which shard to fault
 //
 // Every analysis subcommand also accepts -cpuprofile FILE and -memprofile
 // FILE to write pprof evidence for performance work.
@@ -91,6 +99,10 @@ func main() {
 		err = runLoadgen(args)
 	case "append":
 		err = runAppend(args)
+	case "chaos":
+		err = runChaos(args)
+	case "ring":
+		err = runRing(args)
 	default:
 		usage()
 	}
@@ -101,7 +113,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: currents <detect|truth|temporal|dissim|recommend|serve|snapshot|server|router|loadgen|append> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: currents <detect|truth|temporal|dissim|recommend|serve|snapshot|server|router|loadgen|append|chaos|ring> [flags]")
 	os.Exit(2)
 }
 

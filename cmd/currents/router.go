@@ -33,18 +33,38 @@ func runRouter(args []string) error {
 	healthEvery := fs.Duration("health-interval", cluster.DefaultHealthInterval, "delay between shard readiness probe rounds")
 	probeTimeout := fs.Duration("probe-timeout", cluster.DefaultProbeTimeout, "timeout for one shard readiness probe")
 	maxBytes := fs.Int64("max-request-bytes", 1<<20, "proxied request body cap")
+	tryTimeout := fs.Duration("try-timeout", cluster.DefaultTryTimeout, "deadline for one proxied attempt against one shard (<0 disables)")
+	hedgeDelay := fs.Duration("hedge-delay", 0, "fire a hedged read at the next replica after this delay (0 disables)")
+	breakerThreshold := fs.Int("breaker-threshold", cluster.DefaultBreakerThreshold, "consecutive failures that trip a shard's circuit breaker (<0 disables)")
+	breakerCooldown := fs.Duration("breaker-cooldown", cluster.DefaultBreakerCooldown, "how long a tripped breaker stays open before a half-open probe")
+	retryBudget := fs.Float64("retry-budget", cluster.DefaultRetryRefill, "failover retries allowed per incoming request (token-bucket refill; <0 disables)")
+	backoffBase := fs.Duration("backoff-base", cluster.DefaultBackoffBase, "base delay between failover tries (doubles per retry, jittered)")
+	backoffMax := fs.Duration("backoff-max", cluster.DefaultBackoffMax, "cap on the failover backoff delay")
+	seed := fs.Int64("seed", 1, "seed for deterministic backoff jitter")
+	repairInterval := fs.Duration("repair-interval", cluster.DefaultRepairInterval, "anti-entropy scan period for replica repair (<0 disables)")
+	repairTimeout := fs.Duration("repair-timeout", cluster.DefaultRepairTimeout, "deadline for one repair or rebalance snapshot adoption")
 	_ = fs.Parse(args)
 	if *shards == "" || fs.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: currents router -addr :8080 -shards host1:9001,host2:9002[,...] [-rf N] [-vnodes N] [-health-interval D] [-probe-timeout D]")
+		fmt.Fprintln(os.Stderr, "usage: currents router -addr :8080 -shards host1:9001,host2:9002[,...] [-rf N] [-vnodes N] [-health-interval D] [-probe-timeout D] [-try-timeout D] [-hedge-delay D] [-breaker-threshold N] [-breaker-cooldown D] [-retry-budget F] [-repair-interval D]")
 		os.Exit(2)
 	}
 
 	rt, err := cluster.NewRouter(strings.Split(*shards, ","), cluster.Options{
-		RF:              *rf,
-		VNodes:          *vnodes,
-		HealthInterval:  *healthEvery,
-		ProbeTimeout:    *probeTimeout,
-		MaxRequestBytes: *maxBytes,
+		RF:               *rf,
+		VNodes:           *vnodes,
+		HealthInterval:   *healthEvery,
+		ProbeTimeout:     *probeTimeout,
+		MaxRequestBytes:  *maxBytes,
+		TryTimeout:       *tryTimeout,
+		HedgeDelay:       *hedgeDelay,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		RetryRefill:      *retryBudget,
+		BackoffBase:      *backoffBase,
+		BackoffMax:       *backoffMax,
+		Seed:             *seed,
+		RepairInterval:   *repairInterval,
+		RepairTimeout:    *repairTimeout,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "router: "+format+"\n", a...)
 		},
@@ -221,6 +241,51 @@ func scrapeShardHists(client *http.Client, base string) map[string]*shardHist {
 		return nil
 	}
 	return out
+}
+
+// resilienceCounters are the router's whole-fleet retry/hedge totals;
+// loadgen -router diffs two scrapes to report how much of the measured run
+// leaned on failover machinery.
+type resilienceCounters struct {
+	retries  int64
+	hedges   int64
+	hedgeWon int64
+	ok       bool
+}
+
+// scrapeResilienceCounters reads the unlabeled retry/hedge counters from
+// the router's /metrics; ok is false when the endpoint or series are
+// absent.
+func scrapeResilienceCounters(client *http.Client, base string) resilienceCounters {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return resilienceCounters{}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resilienceCounters{}
+	}
+	var rc resilienceCounters
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		name, val, found := strings.Cut(sc.Text(), " ")
+		if !found {
+			continue
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "currents_router_retries_total":
+			rc.retries, rc.ok = n, true
+		case "currents_router_hedged_requests_total":
+			rc.hedges, rc.ok = n, true
+		case "currents_router_hedge_wins_total":
+			rc.hedgeWon, rc.ok = n, true
+		}
+	}
+	return rc
 }
 
 // promLabel extracts one label value from a Prometheus series line

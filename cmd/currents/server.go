@@ -297,11 +297,13 @@ func runLoadgen(args []string) error {
 	// Router mode diffs the router's per-shard latency histograms across the
 	// run, so the per-shard columns cover exactly the traffic sent here.
 	var shardHists0 map[string]*shardHist
+	var resil0 resilienceCounters
 	if *routerMode {
 		shardHists0 = scrapeShardHists(client, base)
 		if shardHists0 == nil {
 			fmt.Fprintln(os.Stderr, "loadgen: -router: no per-shard metrics at "+base+"/metrics (is this a router?)")
 		}
+		resil0 = scrapeResilienceCounters(client, base)
 	}
 
 	// The historical-epoch pool drives -as-of-mix: readers pick a random
@@ -505,6 +507,20 @@ func runLoadgen(args []string) error {
 					s, d.reqs, d.errs,
 					d.pct(0.50).Round(time.Microsecond), d.pct(0.99).Round(time.Microsecond))
 			}
+		}
+		if resil1 := scrapeResilienceCounters(client, base); resil1.ok {
+			retries := resil1.retries - resil0.retries
+			hedges := resil1.hedges - resil0.hedges
+			wins := resil1.hedgeWon - resil0.hedgeWon
+			reads := int64(len(all)) + int64(nErr)
+			pc := func(n int64) float64 {
+				if reads == 0 {
+					return 0
+				}
+				return 100 * float64(n) / float64(reads)
+			}
+			fmt.Printf("router resilience: %d retries (%.1f%% of reads), %d hedged (%.1f%%), %d hedge wins\n",
+				retries, pc(retries), hedges, pc(hedges), wins)
 		}
 		if nErr > 0 {
 			return fmt.Errorf("loadgen: router mode FAILED: %d failed reads (zero required — failover must hide shard loss)", nErr)

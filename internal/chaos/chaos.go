@@ -1,0 +1,337 @@
+// Fault-injection proxy: the fleet's chaos harness.
+//
+// A Proxy sits between the router and one shard (its listen address goes on
+// the ring; the shard's real address is the upstream) and forwards HTTP
+// requests byte-for-byte until a fault is switched on. Faults are applied
+// per request from the current fault set, so a long-lived pooled router
+// connection picks up a fault flip on its very next request — no redial
+// needed. The supported faults cover the gray-failure spectrum the router's
+// resilience layer must absorb:
+//
+//   - Latency: hold each request for a fixed delay before forwarding.
+//   - Blackhole: accept the connection, read the request, answer nothing —
+//     the hang that distinguishes a gray failure from a clean crash.
+//   - Reset: kill the connection immediately (RST where the platform
+//     allows, via SO_LINGER 0).
+//   - ErrorProb: answer a deterministic pseudo-random fraction of requests
+//     with a canned 503.
+//   - BytesPerSec: throttle the response body to a trickle.
+//   - TruncateAfter: cut the response body after N bytes and abort the
+//     connection, so the client sees an unexpected EOF mid-body.
+//
+// The fault set is runtime-mutable: in-process tests call SetFaults, and
+// the `currents chaos` subcommand exposes AdminHandler on a second listener
+// so shell harnesses (scripts/fleet_e2e.sh) flip faults mid-run with curl.
+// Probabilistic faults draw from a seeded source, so a given seed injects
+// the same fault schedule on every run.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults is one fault configuration, applied per proxied request. The zero
+// value forwards everything untouched. JSON tags are the admin-endpoint
+// wire names.
+type Faults struct {
+	// LatencyMS delays every request this many milliseconds before it is
+	// forwarded upstream.
+	LatencyMS int64 `json:"latency_ms"`
+	// Blackhole accepts requests and never answers them: the connection
+	// stays open until the client gives up or the proxy closes.
+	Blackhole bool `json:"blackhole"`
+	// Reset aborts every connection as soon as a request arrives.
+	Reset bool `json:"reset"`
+	// ErrorProb answers this fraction of requests (0..1) with a 503.
+	ErrorProb float64 `json:"error_prob"`
+	// BytesPerSec throttles response bodies to this rate (0 = unthrottled).
+	BytesPerSec int `json:"bytes_per_sec"`
+	// TruncateAfter cuts response bodies after this many bytes and aborts
+	// the connection (0 = whole body).
+	TruncateAfter int64 `json:"truncate_after"`
+}
+
+// Stats counts what the proxy has done, for assertions and the admin GET.
+type Stats struct {
+	Proxied    int64 `json:"proxied"`
+	Delayed    int64 `json:"delayed"`
+	Blackholed int64 `json:"blackholed"`
+	Resets     int64 `json:"resets"`
+	Errors     int64 `json:"errors_injected"`
+	Truncated  int64 `json:"truncated"`
+}
+
+// Proxy is one fault-injection proxy in front of one upstream. Create with
+// New, reconfigure with SetFaults at any time, and Close when done. Safe
+// for concurrent use.
+type Proxy struct {
+	upstream string
+	ln       net.Listener
+	srv      *http.Server
+	client   *http.Client
+	done     chan struct{}
+
+	mu  sync.Mutex
+	f   Faults
+	rng *rand.Rand
+
+	proxied    atomic.Int64
+	delayed    atomic.Int64
+	blackholed atomic.Int64
+	resets     atomic.Int64
+	errs       atomic.Int64
+	truncated  atomic.Int64
+}
+
+// New starts a proxy listening on listen (host:port, ":0" for an ephemeral
+// port) and forwarding to the upstream host:port. The seed drives the
+// probabilistic faults; the same seed injects the same schedule.
+func New(listen, upstream string, f Faults, seed int64) (*Proxy, error) {
+	if upstream == "" {
+		return nil, fmt.Errorf("chaos: upstream address required")
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen %s: %w", listen, err)
+	}
+	p := &Proxy{
+		upstream: upstream,
+		ln:       ln,
+		done:     make(chan struct{}),
+		f:        f,
+		rng:      rand.New(rand.NewSource(seed)),
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+		}},
+	}
+	p.srv = &http.Server{Handler: p, ErrorLog: nil}
+	go func() { _ = p.srv.Serve(ln) }()
+	return p, nil
+}
+
+// Addr returns the proxy's bound listen address (host:port) — the address
+// that goes on the ring in place of the upstream shard's.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetFaults replaces the active fault set; the next request observes it.
+func (p *Proxy) SetFaults(f Faults) {
+	p.mu.Lock()
+	p.f = f
+	p.mu.Unlock()
+}
+
+// Faults returns the active fault set.
+func (p *Proxy) Faults() Faults {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.f
+}
+
+// Stats returns the proxy's lifetime counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Proxied:    p.proxied.Load(),
+		Delayed:    p.delayed.Load(),
+		Blackholed: p.blackholed.Load(),
+		Resets:     p.resets.Load(),
+		Errors:     p.errs.Load(),
+		Truncated:  p.truncated.Load(),
+	}
+}
+
+// Close stops the proxy immediately, releasing blackholed connections too
+// (a graceful shutdown would wait on them forever).
+func (p *Proxy) Close() error {
+	close(p.done)
+	return p.srv.Close()
+}
+
+// roll draws one deterministic uniform sample in [0, 1).
+func (p *Proxy) roll() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Float64()
+}
+
+// ServeHTTP applies the current fault set to one request, then forwards it.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f := p.Faults()
+	if f.Reset {
+		p.resets.Add(1)
+		abortConn(w)
+		return
+	}
+	if f.Blackhole {
+		p.blackholed.Add(1)
+		// Accept-then-hang: the request was read, nothing is ever written.
+		// Released when the client gives up (its per-try deadline) or the
+		// proxy closes.
+		select {
+		case <-r.Context().Done():
+		case <-p.done:
+		}
+		return
+	}
+	if f.ErrorProb > 0 && p.roll() < f.ErrorProb {
+		p.errs.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, `{"error":"chaos: injected 503"}`+"\n")
+		return
+	}
+	if f.LatencyMS > 0 {
+		p.delayed.Add(1)
+		t := time.NewTimer(time.Duration(f.LatencyMS) * time.Millisecond)
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		case <-p.done:
+			t.Stop()
+			return
+		}
+	}
+
+	u := "http://" + p.upstream + r.URL.RequestURI()
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, r.Body)
+	if err != nil {
+		http.Error(w, "chaos: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		_, _ = fmt.Fprintf(w, `{"error":"chaos: upstream: %s"}%s`, err, "\n")
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	p.proxied.Add(1)
+	p.copyBody(w, resp.Body, f)
+}
+
+// copyBody relays a response body, applying throttle and truncation faults.
+func (p *Proxy) copyBody(w http.ResponseWriter, body io.Reader, f Faults) {
+	if f.TruncateAfter > 0 {
+		n, _ := io.CopyN(w, body, f.TruncateAfter)
+		if n == f.TruncateAfter {
+			// More may remain; abort the connection so the client sees a cut
+			// stream, not a clean short response. Flush first — without it the
+			// truncated prefix dies in the server's write buffer and the
+			// client sees a clean connection drop instead of a mid-body cut.
+			if _, err := io.CopyN(io.Discard, body, 1); err == nil {
+				if fl, ok := w.(http.Flusher); ok {
+					fl.Flush()
+				}
+				p.truncated.Add(1)
+				panic(http.ErrAbortHandler)
+			}
+		}
+		return
+	}
+	if f.BytesPerSec <= 0 {
+		_, _ = io.Copy(w, body)
+		return
+	}
+	// Throttle: move a tenth of the budget every 100ms.
+	chunk := int64(f.BytesPerSec / 10)
+	if chunk < 1 {
+		chunk = 1
+	}
+	fl, _ := w.(http.Flusher)
+	for {
+		n, err := io.CopyN(w, body, chunk)
+		if fl != nil && n > 0 {
+			fl.Flush()
+		}
+		if err != nil {
+			return
+		}
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// abortConn tears the client connection down as abruptly as the platform
+// allows: SO_LINGER 0 turns the close into an RST; if hijacking is not
+// available the handler abort still drops the connection mid-request.
+func abortConn(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic(http.ErrAbortHandler)
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = conn.Close()
+}
+
+// AdminHandler returns the runtime control surface, served on a separate
+// listener by `currents chaos`:
+//
+//	GET  /faults  -> {"faults": {...}, "stats": {...}}
+//	POST /faults  <- a Faults JSON object; replaces the active set
+func (p *Proxy) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/faults", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeAdminJSON(w, http.StatusOK, map[string]any{"faults": p.Faults(), "stats": p.Stats()})
+		case http.MethodPost:
+			var f Faults
+			dec := json.NewDecoder(io.LimitReader(r.Body, 1<<16))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&f); err != nil {
+				writeAdminJSON(w, http.StatusBadRequest, map[string]string{"error": "bad faults: " + err.Error()})
+				return
+			}
+			if f.ErrorProb < 0 || f.ErrorProb > 1 {
+				writeAdminJSON(w, http.StatusBadRequest, map[string]string{"error": "error_prob must be in [0, 1]"})
+				return
+			}
+			p.SetFaults(f)
+			writeAdminJSON(w, http.StatusOK, map[string]any{"faults": p.Faults()})
+		default:
+			writeAdminJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed"})
+		}
+	})
+	return mux
+}
+
+func writeAdminJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b = []byte(`{"error":"encoding failure"}`)
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(b, '\n'))
+}

@@ -1,0 +1,247 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bootUpstream serves a fixed body with a marker header, echoing method and
+// path so passthrough fidelity is checkable.
+func bootUpstream(t testing.TB, body []byte) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Upstream-Marker", "yes")
+		w.Header().Set("X-Echo-Path", r.URL.RequestURI())
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func bootProxy(t testing.TB, upstream *httptest.Server, f Faults) *Proxy {
+	t.Helper()
+	p, err := New("127.0.0.1:0", strings.TrimPrefix(upstream.URL, "http://"), f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// With no faults, the proxy is invisible: status, headers (the snapshot CRC
+// travels in one), and body pass through untouched.
+func TestProxyPassthrough(t *testing.T) {
+	want := []byte(`{"hello":"world"}`)
+	up := bootUpstream(t, want)
+	p := bootProxy(t, up, Faults{})
+
+	resp, err := http.Get("http://" + p.Addr() + "/v1/ds/answer?as_of=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, want) {
+		t.Fatalf("status %d body %q, want 200 %q", resp.StatusCode, body, want)
+	}
+	if resp.Header.Get("X-Upstream-Marker") != "yes" {
+		t.Fatal("upstream header dropped — adopt CRC headers would be lost the same way")
+	}
+	if got := resp.Header.Get("X-Echo-Path"); got != "/v1/ds/answer?as_of=3" {
+		t.Fatalf("upstream saw path %q, want query preserved", got)
+	}
+	if st := p.Stats(); st.Proxied != 1 {
+		t.Fatalf("stats = %+v, want Proxied 1", st)
+	}
+}
+
+// Latency holds the request for the configured delay, then forwards it.
+func TestProxyLatency(t *testing.T) {
+	up := bootUpstream(t, []byte("ok"))
+	p := bootProxy(t, up, Faults{LatencyMS: 150})
+	start := time.Now()
+	resp, err := http.Get("http://" + p.Addr() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("answered in %v, want >= 150ms", elapsed)
+	}
+	if st := p.Stats(); st.Delayed != 1 {
+		t.Fatalf("stats = %+v, want Delayed 1", st)
+	}
+}
+
+// ErrorProb 1 turns every request into an injected 503.
+func TestProxyInjectedError(t *testing.T) {
+	up := bootUpstream(t, []byte("ok"))
+	p := bootProxy(t, up, Faults{ErrorProb: 1})
+	resp, err := http.Get("http://" + p.Addr() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "chaos") {
+		t.Fatalf("body %q, want injected marker", body)
+	}
+	if st := p.Stats(); st.Errors != 1 || st.Proxied != 0 {
+		t.Fatalf("stats = %+v, want Errors 1 and nothing proxied", st)
+	}
+}
+
+// A blackholed request accepts and never answers: only the client's own
+// deadline gets it out — exactly the gray failure TryTimeout must bound.
+func TestProxyBlackhole(t *testing.T) {
+	up := bootUpstream(t, []byte("ok"))
+	p := bootProxy(t, up, Faults{Blackhole: true})
+	client := &http.Client{Timeout: 150 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get("http://" + p.Addr() + "/x")
+	if err == nil {
+		t.Fatal("blackholed request answered")
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("failed in %v, want to hang until the client deadline", elapsed)
+	}
+	if st := p.Stats(); st.Blackholed != 1 {
+		t.Fatalf("stats = %+v, want Blackholed 1", st)
+	}
+}
+
+// Reset aborts the connection without an HTTP answer.
+func TestProxyReset(t *testing.T) {
+	up := bootUpstream(t, []byte("ok"))
+	p := bootProxy(t, up, Faults{Reset: true})
+	_, err := http.Get("http://" + p.Addr() + "/x")
+	if err == nil {
+		t.Fatal("reset connection produced an HTTP response")
+	}
+	if st := p.Stats(); st.Resets != 1 {
+		t.Fatalf("stats = %+v, want Resets 1", st)
+	}
+}
+
+// TruncateAfter cuts the body mid-stream and aborts, so the client sees an
+// unexpected EOF rather than a clean short response.
+func TestProxyTruncate(t *testing.T) {
+	up := bootUpstream(t, bytes.Repeat([]byte("a"), 1000))
+	p := bootProxy(t, up, Faults{TruncateAfter: 100})
+	resp, err := http.Get("http://" + p.Addr() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read %d bytes cleanly, want a mid-body error", len(body))
+	}
+	if len(body) > 100 {
+		t.Fatalf("client received %d bytes, want <= 100", len(body))
+	}
+	if st := p.Stats(); st.Truncated != 1 {
+		t.Fatalf("stats = %+v, want Truncated 1", st)
+	}
+}
+
+// BytesPerSec throttles the body without corrupting it.
+func TestProxyThrottle(t *testing.T) {
+	want := bytes.Repeat([]byte("b"), 50)
+	up := bootUpstream(t, want)
+	p := bootProxy(t, up, Faults{BytesPerSec: 100}) // 10-byte chunks per 100ms
+	start := time.Now()
+	resp, err := http.Get("http://" + p.Addr() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || !bytes.Equal(body, want) {
+		t.Fatalf("throttled body corrupted (err=%v, %d bytes)", err, len(body))
+	}
+	if elapsed := time.Since(start); elapsed < 300*time.Millisecond {
+		t.Fatalf("50 bytes at 100 B/s arrived in %v, want >= 300ms", elapsed)
+	}
+}
+
+// Faults flip at runtime mid-connection: a pooled client that saw a fault
+// observes the healthy path on its very next request.
+func TestProxyRuntimeFlip(t *testing.T) {
+	up := bootUpstream(t, []byte("ok"))
+	p := bootProxy(t, up, Faults{ErrorProb: 1})
+	client := &http.Client{}
+	resp, err := client.Get("http://" + p.Addr() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("faulted status %d, want 503", resp.StatusCode)
+	}
+	p.SetFaults(Faults{})
+	resp, err = client.Get("http://" + p.Addr() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healed status %d, want 200 on the same pooled client", resp.StatusCode)
+	}
+}
+
+// The admin endpoint reads and replaces the fault set, validates inputs,
+// and reports stats.
+func TestAdminHandler(t *testing.T) {
+	up := bootUpstream(t, []byte("ok"))
+	p := bootProxy(t, up, Faults{})
+	admin := httptest.NewServer(p.AdminHandler())
+	t.Cleanup(admin.Close)
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(admin.URL+"/faults", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post(`{"latency_ms":250,"error_prob":0.5}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid POST status %d", resp.StatusCode)
+	}
+	if f := p.Faults(); f.LatencyMS != 250 || f.ErrorProb != 0.5 {
+		t.Fatalf("faults after POST = %+v", f)
+	}
+	if resp := post(`{"latency":250}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown-field POST status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"error_prob":2}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range error_prob status %d, want 400", resp.StatusCode)
+	}
+	// The rejected POSTs must not have clobbered the accepted set.
+	if f := p.Faults(); f.LatencyMS != 250 {
+		t.Fatalf("rejected POST clobbered faults: %+v", f)
+	}
+
+	resp, err := http.Get(admin.URL + "/faults")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK ||
+		!strings.Contains(string(body), `"latency_ms":250`) ||
+		!strings.Contains(string(body), `"proxied"`) {
+		t.Fatalf("GET /faults = %d %s", resp.StatusCode, body)
+	}
+}

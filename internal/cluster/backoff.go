@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// backoff produces exponentially growing delays with deterministic jitter
+// from a seeded source: delay(n) = min(base<<(n-1), max) scaled by a
+// uniform factor in [0.5, 1.5). The same seed yields the same sequence, so
+// failover timing in tests and replayed incidents is reproducible.
+type backoff struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	base time.Duration
+	max  time.Duration
+}
+
+func newBackoff(base, max time.Duration, seed int64) *backoff {
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &backoff{rng: rand.New(rand.NewSource(seed)), base: base, max: max}
+}
+
+// delay returns the jittered delay before retry n (n >= 1).
+func (b *backoff) delay(n int) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	d := b.base
+	for i := 1; i < n && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	b.mu.Lock()
+	f := 0.5 + b.rng.Float64() // [0.5, 1.5)
+	b.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// retryBudget is a token bucket that bounds how many failover retries the
+// router may issue relative to its request volume, so a dead shard cannot
+// amplify incoming load into a retry storm. Every incoming request deposits
+// `refill` tokens (capped at `cap`); every retry withdraws one. When the
+// bucket runs dry, failover stops and the last response is relayed as-is.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	cap    float64
+	refill float64 // tokens added per incoming request; <0 disables
+}
+
+func newRetryBudget(refill float64) *retryBudget {
+	if refill == 0 {
+		refill = DefaultRetryRefill
+	}
+	capTokens := DefaultRetryBurst
+	return &retryBudget{tokens: capTokens, cap: capTokens, refill: refill}
+}
+
+func (rb *retryBudget) disabled() bool { return rb.refill < 0 }
+
+// onRequest deposits the per-request refill.
+func (rb *retryBudget) onRequest() {
+	if rb.disabled() {
+		return
+	}
+	rb.mu.Lock()
+	rb.tokens += rb.refill
+	if rb.tokens > rb.cap {
+		rb.tokens = rb.cap
+	}
+	rb.mu.Unlock()
+}
+
+// withdraw takes one token, reporting whether the retry may proceed.
+func (rb *retryBudget) withdraw() bool {
+	if rb.disabled() {
+		return true
+	}
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.tokens < 1 {
+		return false
+	}
+	rb.tokens--
+	return true
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// The same seed must yield the same jittered delay sequence — failover
+// timing in tests and replayed incidents is reproducible.
+func TestBackoffDeterministic(t *testing.T) {
+	a := newBackoff(25*time.Millisecond, 500*time.Millisecond, 42)
+	b := newBackoff(25*time.Millisecond, 500*time.Millisecond, 42)
+	var seqA, seqB [10]time.Duration
+	for i := range seqA {
+		seqA[i] = a.delay(i + 1)
+	}
+	for i := range seqB {
+		seqB[i] = b.delay(i + 1)
+	}
+	if seqA != seqB {
+		t.Fatalf("same seed diverged:\n%v\n%v", seqA, seqB)
+	}
+	c := newBackoff(25*time.Millisecond, 500*time.Millisecond, 43)
+	same := true
+	for i := range seqA {
+		if c.delay(i+1) != seqA[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 10-delay sequence")
+	}
+}
+
+// delay(n) must stay within [0.5, 1.5) of min(base<<(n-1), max).
+func TestBackoffBounds(t *testing.T) {
+	base, max := 25*time.Millisecond, 500*time.Millisecond
+	b := newBackoff(base, max, 7)
+	for n := 1; n <= 12; n++ {
+		nominal := base << (n - 1)
+		if nominal > max {
+			nominal = max
+		}
+		d := b.delay(n)
+		lo := time.Duration(float64(nominal) * 0.5)
+		hi := time.Duration(float64(nominal) * 1.5)
+		if d < lo || d >= hi {
+			t.Fatalf("delay(%d) = %v, want in [%v, %v)", n, d, lo, hi)
+		}
+	}
+}
+
+// The retry budget starts at full burst, drains one token per withdraw, and
+// refills per incoming request without exceeding the cap.
+func TestRetryBudget(t *testing.T) {
+	rb := newRetryBudget(0.5)
+	for i := 0; i < int(DefaultRetryBurst); i++ {
+		if !rb.withdraw() {
+			t.Fatalf("withdraw %d denied with the bucket starting full", i)
+		}
+	}
+	if rb.withdraw() {
+		t.Fatal("withdraw allowed from an empty bucket")
+	}
+	rb.onRequest()
+	rb.onRequest() // 2 requests * 0.5 = 1 token
+	if !rb.withdraw() {
+		t.Fatal("withdraw denied after refill reached one token")
+	}
+	if rb.withdraw() {
+		t.Fatal("second withdraw allowed with the refill spent")
+	}
+	// Refill never exceeds the cap.
+	for i := 0; i < 100; i++ {
+		rb.onRequest()
+	}
+	for i := 0; i < int(DefaultRetryBurst); i++ {
+		if !rb.withdraw() {
+			t.Fatalf("withdraw %d denied after refilling to cap", i)
+		}
+	}
+	if rb.withdraw() {
+		t.Fatal("bucket held more than its cap")
+	}
+}
+
+// refill < 0 disables the budget: every withdraw is allowed.
+func TestRetryBudgetDisabled(t *testing.T) {
+	rb := newRetryBudget(-1)
+	for i := 0; i < 1000; i++ {
+		if !rb.withdraw() {
+			t.Fatal("disabled budget denied a retry")
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, exported on /metrics as currents_router_breaker_state.
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+// breaker is a per-shard circuit breaker. It trips open after `threshold`
+// consecutive failures; while open, the shard is deprioritized so requests
+// fast-fail over to healthy replicas instead of eating a TryTimeout each.
+// After `cooldown` the breaker admits a single half-open probe; the probe's
+// outcome closes the breaker or re-opens it for another cooldown.
+//
+// The router separates *ordering* from *admission*: admits() is a read-only
+// check used to sort candidates (an open breaker whose cooldown has elapsed
+// orders normally, so probes happen under regular traffic), while allow()
+// is called once per launched attempt and is what actually consumes the
+// half-open probe slot. A canceled attempt (hedge loser) must call
+// onCancel() so the probe slot is returned rather than leaked.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures to trip; <=0 disables
+	cooldown  time.Duration // open -> half-open delay
+	now       func() time.Time
+
+	state    int
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+func (b *breaker) disabled() bool { return b.threshold <= 0 }
+
+// admits reports whether an attempt against this shard would currently be
+// admitted, without consuming anything. Used for candidate ordering only.
+func (b *breaker) admits() bool {
+	if b.disabled() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerHalfOpen:
+		return !b.probing
+	default: // open
+		return b.now().Sub(b.openedAt) >= b.cooldown
+	}
+}
+
+// allow is called when an attempt is actually launched. It returns false if
+// the attempt should be skipped (breaker open and cooling down, or the
+// half-open probe slot is taken). On an open breaker whose cooldown has
+// elapsed it transitions to half-open and claims the probe slot.
+func (b *breaker) allow() bool {
+	if b.disabled() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default: // open
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	}
+}
+
+// onSuccess records a successful attempt, closing the breaker.
+func (b *breaker) onSuccess() {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// onFailure records a failed attempt and reports whether this call tripped
+// the breaker open (for the trip counter).
+func (b *breaker) onFailure() (tripped bool) {
+	if b.disabled() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		// Failed probe: back to open for another cooldown.
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		return false
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.failures = 0
+			return true
+		}
+		return false
+	default: // already open (e.g. a straggler attempt launched pre-trip)
+		return false
+	}
+}
+
+// onCancel records an attempt that was canceled before producing a verdict
+// (a hedge loser). It only releases a held probe slot — canceled attempts
+// say nothing about shard health.
+func (b *breaker) onCancel() {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// snapshot returns the current state for the /metrics gauge.
+func (b *breaker) snapshot() int {
+	if b.disabled() {
+		return breakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

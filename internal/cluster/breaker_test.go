@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable breaker clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// The full happy-path cycle: closed -> open at threshold -> half-open after
+// cooldown (one probe slot) -> closed on probe success.
+func TestBreakerTripAndRecover(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(3, time.Second, clk.now)
+
+	if !b.admits() || !b.allow() {
+		t.Fatal("fresh breaker must admit")
+	}
+	if b.onFailure() {
+		t.Fatal("failure 1 must not trip at threshold 3")
+	}
+	if b.onFailure() {
+		t.Fatal("failure 2 must not trip at threshold 3")
+	}
+	if !b.onFailure() {
+		t.Fatal("failure 3 must trip")
+	}
+	if got := b.snapshot(); got != breakerOpen {
+		t.Fatalf("state after trip = %d, want open", got)
+	}
+	if b.admits() || b.allow() {
+		t.Fatal("open breaker inside cooldown must deny")
+	}
+
+	clk.advance(time.Second)
+	if !b.admits() {
+		t.Fatal("open breaker past cooldown must admit (for ordering)")
+	}
+	if !b.allow() {
+		t.Fatal("first allow past cooldown must claim the half-open probe")
+	}
+	if got := b.snapshot(); got != breakerHalfOpen {
+		t.Fatalf("state after probe claim = %d, want half-open", got)
+	}
+	if b.allow() {
+		t.Fatal("second allow must be denied while the probe is in flight")
+	}
+	b.onSuccess()
+	if got := b.snapshot(); got != breakerClosed {
+		t.Fatalf("state after probe success = %d, want closed", got)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker must admit")
+	}
+}
+
+// A failed half-open probe re-opens the breaker for a fresh cooldown, and
+// does not count as a new trip.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(1, time.Second, clk.now)
+
+	if !b.onFailure() {
+		t.Fatal("failure must trip at threshold 1")
+	}
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("probe must be admitted past cooldown")
+	}
+	if b.onFailure() {
+		t.Fatal("failed probe must not count as a second trip")
+	}
+	if got := b.snapshot(); got != breakerOpen {
+		t.Fatalf("state after failed probe = %d, want open", got)
+	}
+	// The cooldown restarts from the probe failure, not the original trip.
+	clk.advance(500 * time.Millisecond)
+	if b.allow() {
+		t.Fatal("breaker must stay closed to traffic inside the restarted cooldown")
+	}
+	clk.advance(500 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker must admit a new probe after the restarted cooldown")
+	}
+}
+
+// A canceled half-open attempt (hedge loser) returns the probe slot instead
+// of leaking it.
+func TestBreakerCancelFreesProbeSlot(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(1, time.Second, clk.now)
+	b.onFailure()
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("probe must be admitted")
+	}
+	if b.allow() {
+		t.Fatal("probe slot must be exclusive")
+	}
+	b.onCancel()
+	if !b.allow() {
+		t.Fatal("canceled probe must free the slot for the next attempt")
+	}
+}
+
+// A success while closed resets the consecutive-failure count.
+func TestBreakerSuccessResetsFailures(t *testing.T) {
+	b := newBreaker(2, time.Second, nil)
+	b.onFailure()
+	b.onSuccess()
+	if b.onFailure() {
+		t.Fatal("first failure after a success must not trip at threshold 2")
+	}
+	if !b.onFailure() {
+		t.Fatal("second consecutive failure must trip")
+	}
+}
+
+// threshold <= 0 disables the breaker entirely.
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(0, time.Second, nil)
+	for i := 0; i < 100; i++ {
+		if b.onFailure() {
+			t.Fatal("disabled breaker must never trip")
+		}
+	}
+	if !b.admits() || !b.allow() {
+		t.Fatal("disabled breaker must always admit")
+	}
+	if b.snapshot() != breakerClosed {
+		t.Fatal("disabled breaker must report closed")
+	}
+}
+
+// Hammer every transition concurrently; run with -race. The assertion is
+// only that the final state is one of the three valid states — the value of
+// the test is the race detector over the mutex discipline.
+func TestBreakerConcurrent(t *testing.T) {
+	b := newBreaker(5, time.Millisecond, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				switch (g + i) % 5 {
+				case 0:
+					b.allow()
+				case 1:
+					b.onFailure()
+				case 2:
+					b.onSuccess()
+				case 3:
+					b.onCancel()
+				case 4:
+					b.admits()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := b.snapshot(); s != breakerClosed && s != breakerHalfOpen && s != breakerOpen {
+		t.Fatalf("invalid final state %d", s)
+	}
+}

@@ -23,6 +23,7 @@ var routerLatencyBuckets = []float64{0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
 type shardMetrics struct {
 	requests atomic.Int64
 	errors   atomic.Int64
+	timeouts atomic.Int64
 	buckets  [8]atomic.Int64
 	sumNanos atomic.Int64
 }
@@ -33,15 +34,40 @@ type routerMetrics struct {
 	perShard map[string]*shardMetrics
 
 	failovers       atomic.Int64
+	retries         atomic.Int64
+	hedgesFired     atomic.Int64
+	hedgeWins       atomic.Int64
+	budgetExhausted atomic.Int64
+	breakerTrips    atomic.Int64
 	replicaAppends  atomic.Int64
 	replicaAppErrs  atomic.Int64
 	rebalanceAdopts atomic.Int64
 	rebalanceErrs   atomic.Int64
+	repairs         atomic.Int64
+	repairErrs      atomic.Int64
 	ringChanges     atomic.Int64
+
+	// lag is the repair loop's last anti-entropy scan: dataset -> shard ->
+	// epochs behind the placement's max. Replaced wholesale per scan so a
+	// healed replica's 0 is visible.
+	lagMu sync.Mutex
+	lag   map[string]map[string]uint64
 }
 
 func newRouterMetrics() *routerMetrics {
 	return &routerMetrics{perShard: make(map[string]*shardMetrics)}
+}
+
+// shardTimeout counts one per-try deadline expiry against a shard.
+func (m *routerMetrics) shardTimeout(addr string) {
+	m.shard(addr).timeouts.Add(1)
+}
+
+// setLag replaces the replica-lag gauge with a fresh scan.
+func (m *routerMetrics) setLag(lag map[string]map[string]uint64) {
+	m.lagMu.Lock()
+	m.lag = lag
+	m.lagMu.Unlock()
 }
 
 // shard returns (creating if needed) the counters for one shard address.
@@ -84,6 +110,7 @@ type shardStatus struct {
 	addr     string
 	ready    bool
 	datasets int
+	breaker  int // breakerClosed / breakerHalfOpen / breakerOpen
 }
 
 // write renders the Prometheus text exposition.
@@ -136,13 +163,72 @@ func (m *routerMetrics) write(w io.Writer, status []shardStatus) {
 	fmt.Fprintf(w, "# TYPE currents_router_failovers_total counter\n")
 	fmt.Fprintf(w, "currents_router_failovers_total %d\n", m.failovers.Load())
 
+	fmt.Fprintf(w, "# HELP currents_router_retries_total Failover retries issued on the read path.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_retries_total counter\n")
+	fmt.Fprintf(w, "currents_router_retries_total %d\n", m.retries.Load())
+
+	fmt.Fprintf(w, "# HELP currents_router_hedged_requests_total Hedged attempts fired after HedgeDelay.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_hedged_requests_total counter\n")
+	fmt.Fprintf(w, "currents_router_hedged_requests_total %d\n", m.hedgesFired.Load())
+
+	fmt.Fprintf(w, "# HELP currents_router_hedge_wins_total Hedged attempts that answered first.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_hedge_wins_total counter\n")
+	fmt.Fprintf(w, "currents_router_hedge_wins_total %d\n", m.hedgeWins.Load())
+
+	fmt.Fprintf(w, "# HELP currents_router_retry_budget_exhausted_total Reads that stopped failing over because the retry budget ran dry.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_retry_budget_exhausted_total counter\n")
+	fmt.Fprintf(w, "currents_router_retry_budget_exhausted_total %d\n", m.budgetExhausted.Load())
+
+	fmt.Fprintf(w, "# HELP currents_router_breaker_trips_total Circuit breakers tripped open by consecutive failures.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_breaker_trips_total counter\n")
+	fmt.Fprintf(w, "currents_router_breaker_trips_total %d\n", m.breakerTrips.Load())
+
+	fmt.Fprintf(w, "# HELP currents_router_breaker_state Per-shard circuit breaker state (0 closed, 1 half-open, 2 open).\n")
+	fmt.Fprintf(w, "# TYPE currents_router_breaker_state gauge\n")
+	for _, st := range sorted {
+		fmt.Fprintf(w, "currents_router_breaker_state{shard=%q} %d\n", st.addr, st.breaker)
+	}
+
 	fmt.Fprintf(w, "# HELP currents_router_replica_appends_total Append batches fanned out to replicas after the primary accepted.\n")
 	fmt.Fprintf(w, "# TYPE currents_router_replica_appends_total counter\n")
 	fmt.Fprintf(w, "currents_router_replica_appends_total %d\n", m.replicaAppends.Load())
 
-	fmt.Fprintf(w, "# HELP currents_router_replica_append_errors_total Replica append fan-outs that failed (replica diverges until re-adopted).\n")
+	fmt.Fprintf(w, "# HELP currents_router_replica_append_errors_total Replica append fan-outs that failed (replica diverges until repaired).\n")
 	fmt.Fprintf(w, "# TYPE currents_router_replica_append_errors_total counter\n")
 	fmt.Fprintf(w, "currents_router_replica_append_errors_total %d\n", m.replicaAppErrs.Load())
+
+	fmt.Fprintf(w, "# HELP currents_replica_append_failures_total Replica append fan-outs that failed; each enqueues a repair.\n")
+	fmt.Fprintf(w, "# TYPE currents_replica_append_failures_total counter\n")
+	fmt.Fprintf(w, "currents_replica_append_failures_total %d\n", m.replicaAppErrs.Load())
+
+	fmt.Fprintf(w, "# HELP currents_router_repairs_total Lagging replicas healed by re-streaming a snapshot.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_repairs_total counter\n")
+	fmt.Fprintf(w, "currents_router_repairs_total %d\n", m.repairs.Load())
+
+	fmt.Fprintf(w, "# HELP currents_router_repair_errors_total Repair adoptions that failed and were re-queued with backoff.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_repair_errors_total counter\n")
+	fmt.Fprintf(w, "currents_router_repair_errors_total %d\n", m.repairErrs.Load())
+
+	m.lagMu.Lock()
+	lag := m.lag
+	m.lagMu.Unlock()
+	fmt.Fprintf(w, "# HELP currents_replica_lag Epochs a placement member trails the placement's max, from the last anti-entropy scan.\n")
+	fmt.Fprintf(w, "# TYPE currents_replica_lag gauge\n")
+	lagDatasets := make([]string, 0, len(lag))
+	for ds := range lag {
+		lagDatasets = append(lagDatasets, ds)
+	}
+	sort.Strings(lagDatasets)
+	for _, ds := range lagDatasets {
+		addrs := make([]string, 0, len(lag[ds]))
+		for addr := range lag[ds] {
+			addrs = append(addrs, addr)
+		}
+		sort.Strings(addrs)
+		for _, addr := range addrs {
+			fmt.Fprintf(w, "currents_replica_lag{dataset=%q,shard=%q} %d\n", ds, addr, lag[ds][addr])
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP currents_router_rebalance_adoptions_total Snapshot adoptions triggered by ring changes.\n")
 	fmt.Fprintf(w, "# TYPE currents_router_rebalance_adoptions_total counter\n")
@@ -161,6 +247,11 @@ func (m *routerMetrics) write(w io.Writer, status []shardStatus) {
 	fmt.Fprintf(w, "# TYPE currents_router_request_errors_total counter\n")
 	for _, addr := range names {
 		fmt.Fprintf(w, "currents_router_request_errors_total{shard=%q} %d\n", addr, shards[addr].errors.Load())
+	}
+	fmt.Fprintf(w, "# HELP currents_router_shard_timeouts_total Proxied attempts that hit their per-try deadline, by shard.\n")
+	fmt.Fprintf(w, "# TYPE currents_router_shard_timeouts_total counter\n")
+	for _, addr := range names {
+		fmt.Fprintf(w, "currents_router_shard_timeouts_total{shard=%q} %d\n", addr, shards[addr].timeouts.Load())
 	}
 	fmt.Fprintf(w, "# HELP currents_router_request_duration_seconds Proxied request latency, by shard.\n")
 	fmt.Fprintf(w, "# TYPE currents_router_request_duration_seconds histogram\n")

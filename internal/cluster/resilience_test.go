@@ -1,0 +1,423 @@
+// Gray-failure drills for the router's resilience layer: hung shards
+// bounded by TryTimeout, breakers tripping and recovering, hedged reads,
+// the retry budget, replica append-failure reporting, and anti-entropy
+// repair — all against real shard servers, with the chaos proxy standing
+// in for the misbehaving ones.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sourcecurrents/internal/chaos"
+	"sourcecurrents/internal/server"
+	"sourcecurrents/internal/session"
+)
+
+// listenLocal grabs an ephemeral loopback port, so a fixture's address is
+// known before anything serves on it (placement and chaos upstreams need
+// the addresses first).
+func listenLocal(t testing.TB) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+// bootShardOn is bootShard over a pre-created listener.
+func bootShardOn(t testing.TB, dir string, ln net.Listener) *shardFixture {
+	t.Helper()
+	cfg := session.DefaultConfig()
+	reg, err := server.LoadDirAllowEmpty(dir, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(server.New(reg, server.Options{AdoptDir: dir, SessionCfg: cfg}))
+	ts.Listener.Close()
+	ts.Listener = ln
+	ts.Start()
+	t.Cleanup(ts.Close)
+	return &shardFixture{ts: ts, addr: strings.TrimPrefix(ts.URL, "http://"), reg: reg}
+}
+
+// datasetWithPrimary finds a dataset name the ring places with the wanted
+// address as primary.
+func datasetWithPrimary(t testing.TB, addrs []string, rf int, want string) string {
+	t.Helper()
+	ring := NewRing(addrs, 0)
+	for i := 0; i < 1024; i++ {
+		name := fmt.Sprintf("w%03d", i)
+		if p := ring.Place(name, rf); len(p) > 0 && p[0] == want {
+			return name
+		}
+	}
+	t.Fatalf("no dataset name maps its primary onto %s", want)
+	return ""
+}
+
+// Regression for the unbounded default proxy client: a shard that accepts
+// connections and never answers must cost at most one TryTimeout before the
+// read fails over — not hang the client forever.
+func TestRouterTryTimeoutHungShard(t *testing.T) {
+	hung := listenLocal(t)
+	defer hung.Close()
+	var heldMu sync.Mutex
+	var held []net.Conn
+	go func() {
+		for {
+			c, err := hung.Accept()
+			if err != nil {
+				return
+			}
+			heldMu.Lock()
+			held = append(held, c)
+			heldMu.Unlock()
+		}
+	}()
+	defer func() {
+		heldMu.Lock()
+		for _, c := range held {
+			c.Close()
+		}
+		heldMu.Unlock()
+	}()
+
+	ln := listenLocal(t)
+	addrs := []string{hung.Addr().String(), ln.Addr().String()}
+	const tryTimeout = 200 * time.Millisecond
+	ds := datasetWithPrimary(t, addrs, 2, hung.Addr().String())
+	dir := t.TempDir()
+	writeWorldSnap(t, dir, ds, 11, 30)
+	bootShardOn(t, dir, ln)
+
+	rt, err := NewRouter(addrs, Options{
+		RF: 2, TryTimeout: tryTimeout,
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+		BreakerThreshold: -1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	// A gray-failing shard looks healthy to the prober right up until it
+	// hangs; force that view so the read path actually tries it first.
+	hs := rt.shardFor(hung.Addr().String())
+	hs.ready.Store(true)
+	hs.datasets.Store(map[string]bool{ds: true})
+
+	start := time.Now()
+	resp, body := doReq(t, rt, http.MethodPost, "/v1/"+ds+"/answer", answerReq)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read status %d: %s", resp.StatusCode, body)
+	}
+	if elapsed < tryTimeout {
+		t.Fatalf("read finished in %v — the hung primary was never tried (fixture bug)", elapsed)
+	}
+	if elapsed > tryTimeout+800*time.Millisecond {
+		t.Fatalf("read took %v, want ~TryTimeout (%v) before failover", elapsed, tryTimeout)
+	}
+	if got := rt.met.retries.Load(); got == 0 {
+		t.Fatal("retries counter = 0, want > 0 after a timed-out primary")
+	}
+	if got := rt.met.shard(hung.Addr().String()).timeouts.Load(); got == 0 {
+		t.Fatal("per-shard timeout counter = 0, want > 0 for the hung shard")
+	}
+}
+
+// A shard that keeps erroring trips its breaker after BreakerThreshold
+// consecutive failures; while open the replica serves without the failing
+// shard seeing traffic; after the fault lifts, the half-open probe closes
+// the breaker and the shard serves golden bytes again.
+func TestRouterBreakerTripsAndRecovers(t *testing.T) {
+	ln0, ln1 := listenLocal(t), listenLocal(t)
+	p, err := chaos.New("127.0.0.1:0", ln0.Addr().String(), chaos.Faults{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	addrs := []string{p.Addr(), ln1.Addr().String()}
+	ds := datasetWithPrimary(t, addrs, 2, p.Addr())
+	dir0, dir1 := t.TempDir(), t.TempDir()
+	writeWorldSnap(t, dir0, ds, 11, 30)
+	writeWorldSnap(t, dir1, ds, 11, 30)
+	bootShardOn(t, dir0, ln0)
+	sh1 := bootShardOn(t, dir1, ln1)
+
+	rt, err := NewRouter(addrs, Options{
+		RF: 2, TryTimeout: 2 * time.Second,
+		BreakerThreshold: 2, BreakerCooldown: 250 * time.Millisecond,
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+		RetryRefill: -1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	readGolden := func(when string) []byte {
+		t.Helper()
+		resp, body := doReq(t, rt, http.MethodPost, "/v1/"+ds+"/answer", answerReq)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: read status %d: %s", when, resp.StatusCode, body)
+		}
+		return body
+	}
+	_, golden := directReq(t, sh1.ts.URL, http.MethodPost, "/v1/"+ds+"/answer", answerReq)
+	if got := readGolden("healthy"); !bytes.Equal(got, golden) {
+		t.Fatalf("healthy routed bytes differ from direct:\n%s\n%s", got, golden)
+	}
+
+	p.SetFaults(chaos.Faults{ErrorProb: 1})
+	for i := 0; i < 4; i++ {
+		if got := readGolden("faulted"); !bytes.Equal(got, golden) {
+			t.Fatalf("faulted read %d: bytes differ from golden", i)
+		}
+	}
+	if rt.met.breakerTrips.Load() == 0 {
+		t.Fatal("breaker never tripped after consecutive 503s")
+	}
+	ps := rt.shardFor(p.Addr())
+	if got := ps.brk.snapshot(); got != breakerOpen {
+		t.Fatalf("breaker state = %s, want open", breakerStateName(got))
+	}
+	// Inside the cooldown, reads go straight to the replica: the failing
+	// shard sees no new traffic at all.
+	before := p.Stats().Errors
+	readGolden("breaker open")
+	if got := p.Stats().Errors; got != before {
+		t.Fatalf("open breaker still routed to the failing shard (%d -> %d errors)", before, got)
+	}
+
+	p.SetFaults(chaos.Faults{})
+	deadline := time.Now().Add(5 * time.Second)
+	for ps.brk.snapshot() != breakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never closed after the fault lifted (state %s)",
+				breakerStateName(ps.brk.snapshot()))
+		}
+		time.Sleep(60 * time.Millisecond)
+		readGolden("recovering") // traffic drives the half-open probe
+	}
+	if got := readGolden("recovered"); !bytes.Equal(got, golden) {
+		t.Fatal("recovered read diverges from golden")
+	}
+}
+
+// With HedgeDelay set, a slow primary loses to a hedged replica read: the
+// response arrives in hedge time, not primary time, and is still golden.
+func TestRouterHedgedRead(t *testing.T) {
+	ln0, ln1 := listenLocal(t), listenLocal(t)
+	p, err := chaos.New("127.0.0.1:0", ln0.Addr().String(), chaos.Faults{LatencyMS: 400}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	addrs := []string{p.Addr(), ln1.Addr().String()}
+	ds := datasetWithPrimary(t, addrs, 2, p.Addr())
+	dir0, dir1 := t.TempDir(), t.TempDir()
+	writeWorldSnap(t, dir0, ds, 11, 30)
+	writeWorldSnap(t, dir1, ds, 11, 30)
+	bootShardOn(t, dir0, ln0)
+	sh1 := bootShardOn(t, dir1, ln1)
+
+	rt, err := NewRouter(addrs, Options{
+		RF: 2, TryTimeout: 2 * time.Second, HedgeDelay: 30 * time.Millisecond,
+		BreakerThreshold: -1, RetryRefill: -1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	_, golden := directReq(t, sh1.ts.URL, http.MethodPost, "/v1/"+ds+"/answer", answerReq)
+	start := time.Now()
+	resp, body := doReq(t, rt, http.MethodPost, "/v1/"+ds+"/answer", answerReq)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, golden) {
+		t.Fatal("hedged read diverges from golden")
+	}
+	if elapsed >= 300*time.Millisecond {
+		t.Fatalf("read took %v — the hedge never beat the 400ms-slow primary", elapsed)
+	}
+	if rt.met.hedgesFired.Load() == 0 || rt.met.hedgeWins.Load() == 0 {
+		t.Fatalf("hedge counters fired=%d wins=%d, want both > 0",
+			rt.met.hedgesFired.Load(), rt.met.hedgeWins.Load())
+	}
+}
+
+// When every shard is down, the retry budget caps total failover volume:
+// the bucket (burst 10, refill 0.1/request) runs dry and later requests
+// stop retrying instead of doubling the load on a dead fleet.
+func TestRouterRetryBudgetExhausted(t *testing.T) {
+	rt, shards := bootFleet(t, 2, map[string]int64{"alpha": 11}, Options{
+		RF: 2, TryTimeout: 200 * time.Millisecond, BreakerThreshold: -1,
+		RetryRefill: 0.1, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond, Seed: 1,
+	})
+	for _, sh := range shards {
+		sh.ts.CloseClientConnections()
+		sh.ts.Close()
+	}
+	const reqs = 25
+	for i := 0; i < reqs; i++ {
+		resp, _ := doReq(t, rt, http.MethodPost, "/v1/alpha/answer", answerReq)
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("read %d succeeded against a dead fleet", i)
+		}
+	}
+	if rt.met.budgetExhausted.Load() == 0 {
+		t.Fatal("budget-exhausted counter = 0, want > 0 after draining the bucket")
+	}
+	// Burst 10 + 25 requests * 0.1 refill bounds total retries at 13.
+	if got := rt.met.retries.Load(); got > 13 {
+		t.Fatalf("retries = %d, want <= 13 (budget must bound the retry storm)", got)
+	}
+}
+
+// A failed replica append fan-out is visible everywhere it should be: the
+// response's replicas field, both failure counters, and the repair queue.
+func TestRouterAppendReplicaFailureReported(t *testing.T) {
+	rt, shards := bootFleet(t, 2, map[string]int64{"alpha": 11}, Options{
+		RF: 2, TryTimeout: 500 * time.Millisecond,
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond, Seed: 1,
+	})
+	placement := rt.Placement("alpha")
+	for _, sh := range shards {
+		if sh.addr == placement[1] {
+			sh.ts.CloseClientConnections()
+			sh.ts.Close()
+		}
+	}
+	appendJSON := `{"claims":[{"source":"s_extra","entity":"o00000","attribute":"v","value":"zzz"}]}`
+	resp, body := doReq(t, rt, http.MethodPost, "/v1/alpha/append", appendJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status %d: %s (replica loss must not fail the write)", resp.StatusCode, body)
+	}
+	var ar struct {
+		Epoch    uint64          `json:"epoch"`
+		Replicas []ReplicaStatus `json:"replicas"`
+	}
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", ar.Epoch)
+	}
+	if len(ar.Replicas) != 1 || ar.Replicas[0].Addr != placement[1] ||
+		ar.Replicas[0].OK || ar.Replicas[0].Error == "" {
+		t.Fatalf("replicas field = %+v, want one failed entry for %s", ar.Replicas, placement[1])
+	}
+	if got := rt.met.replicaAppErrs.Load(); got != 1 {
+		t.Fatalf("replica append errors = %d, want 1", got)
+	}
+	if got := rt.repair.pendingCount(); got != 1 {
+		t.Fatalf("repair queue = %d tasks, want 1", got)
+	}
+	_, met := doReq(t, rt, http.MethodGet, "/metrics", "")
+	if !strings.Contains(string(met), "currents_replica_append_failures_total 1") {
+		t.Fatalf("metrics missing currents_replica_append_failures_total 1:\n%s", met)
+	}
+}
+
+// The anti-entropy scan finds a replica whose epoch trails its primary,
+// re-streams the primary's snapshot over it, and converges it to
+// byte-identical answers; the lag gauge returns to 0 and a second round is
+// a no-op.
+func TestRouterRepairConvergence(t *testing.T) {
+	rt, shards := bootFleet(t, 2, map[string]int64{"alpha": 11}, Options{RF: 2})
+	placement := rt.Placement("alpha")
+	var primary, replica *shardFixture
+	for _, sh := range shards {
+		if sh.addr == placement[0] {
+			primary = sh
+		} else {
+			replica = sh
+		}
+	}
+	// Lazy registries learn their epoch on first load; force both loads so
+	// /readyz reports epochs for the scan to compare.
+	directReq(t, primary.ts.URL, http.MethodPost, "/v1/alpha/answer", answerReq)
+	directReq(t, replica.ts.URL, http.MethodPost, "/v1/alpha/answer", answerReq)
+
+	// Append straight to the primary, bypassing the router's fan-out — the
+	// divergence a failed fan-out leaves behind.
+	appendJSON := `{"claims":[{"source":"s_extra","entity":"o00000","attribute":"v","value":"zzz"}]}`
+	dresp, dbody := directReq(t, primary.ts.URL, http.MethodPost, "/v1/alpha/append", appendJSON)
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("direct append status %d: %s", dresp.StatusCode, dbody)
+	}
+	rt.probeAll() // refresh the epoch reports
+
+	rt.repair.runOnce()
+	if got := rt.met.repairs.Load(); got != 1 {
+		t.Fatalf("repairs = %d, want 1 (errors=%d)", got, rt.met.repairErrs.Load())
+	}
+	if _, epoch, ok := replica.reg.GetWithEpoch("alpha"); !ok || epoch != 1 {
+		t.Fatalf("replica epoch = %d (ok=%v), want 1 after repair", epoch, ok)
+	}
+	_, want := directReq(t, primary.ts.URL, http.MethodPost, "/v1/alpha/answer", answerReq)
+	gresp, got := directReq(t, replica.ts.URL, http.MethodPost, "/v1/alpha/answer", answerReq)
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("healed replica answer status %d: %s", gresp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("healed replica diverges from primary:\n%s\n%s", got, want)
+	}
+	_, met := doReq(t, rt, http.MethodGet, "/metrics", "")
+	lagLine := fmt.Sprintf("currents_replica_lag{dataset=\"alpha\",shard=%q} 0", replica.addr)
+	if !strings.Contains(string(met), lagLine) {
+		t.Fatalf("metrics missing %q:\n%s", lagLine, met)
+	}
+	rt.repair.runOnce()
+	if got := rt.met.repairs.Load(); got != 1 {
+		t.Fatalf("second repair round re-streamed (repairs=%d), want idempotent no-op", got)
+	}
+}
+
+// With every resilience knob engaged and a healthy fleet, routed bytes stay
+// golden-identical to direct shard bytes — the resilience layer adds
+// failover, never content.
+func TestRouterGoldenWithResilienceKnobs(t *testing.T) {
+	rt, shards := bootFleet(t, 3, map[string]int64{"alpha": 11, "beta": 13}, Options{
+		RF: 2, TryTimeout: 2 * time.Second, HedgeDelay: time.Millisecond,
+		BreakerThreshold: 1, BreakerCooldown: 10 * time.Millisecond,
+		RetryRefill: 0.5, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+		Seed: 7,
+	})
+	cases := []struct{ method, path, body string }{
+		{http.MethodPost, "/v1/alpha/answer", answerReq},
+		{http.MethodPost, "/v1/beta/answer", answerReq},
+		{http.MethodPost, "/v1/alpha/fuse", ""},
+		{http.MethodGet, "/v1/alpha/accuracy", ""},
+	}
+	for iter := 0; iter < 3; iter++ {
+		for _, c := range cases {
+			resp, routed := doReq(t, rt, c.method, c.path, c.body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("iter %d %s %s: status %d: %s", iter, c.method, c.path, resp.StatusCode, routed)
+			}
+			for i, sh := range shards {
+				dresp, direct := directReq(t, sh.ts.URL, c.method, c.path, c.body)
+				if dresp.StatusCode != http.StatusOK {
+					t.Fatalf("shard %d status %d", i, dresp.StatusCode)
+				}
+				if !bytes.Equal(routed, direct) {
+					t.Fatalf("iter %d %s %s: routed bytes differ from shard %d", iter, c.method, c.path, i)
+				}
+			}
+		}
+	}
+}

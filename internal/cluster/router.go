@@ -12,13 +12,27 @@
 // when /admin/ring changes the shard set, the router tells each shard that
 // newly owns a world to adopt it by streaming a peer's snapshot.
 //
+// Gray failures — shards that hang, flap, or answer slowly rather than
+// dying cleanly — are handled by a resilience layer on the proxy path:
+// every try carries a deadline (TryTimeout) under the client's request
+// context, failover retries back off exponentially with seeded
+// deterministic jitter, a per-shard circuit breaker (breaker.go) fast-fails
+// past shards that keep losing, an optional hedge fires the next replica
+// after HedgeDelay and takes the first good answer, and a global retry
+// budget (backoff.go) keeps failover from amplifying an outage into a
+// retry storm. Replica append fan-out failures are reported in the append
+// response and enqueued for repair: an anti-entropy loop (repair.go)
+// compares per-dataset epochs across each placement and re-streams v2
+// snapshots to lagging replicas.
+//
 // The router holds no dataset state of its own, so routed responses are
 // byte-for-byte the shard's bytes — the golden suite pins routed answers
-// to direct-shard answers.
+// to direct-shard answers, with and without the resilience knobs engaged.
 package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -46,9 +60,45 @@ type Options struct {
 	ProbeTimeout time.Duration
 	// MaxRequestBytes caps buffered proxy request bodies (0 = 1 MiB).
 	MaxRequestBytes int64
+	// TryTimeout bounds one proxied attempt against one shard, so a hung
+	// shard costs at most one deadline before failover (0 =
+	// DefaultTryTimeout, <0 = no per-try deadline). Snapshot streams and
+	// adoptions use RepairTimeout instead — they legitimately run long.
+	TryTimeout time.Duration
+	// HedgeDelay, when positive, fires a hedged attempt at the next read
+	// replica after this delay; the first good answer wins and the loser
+	// is canceled. Zero disables hedging.
+	HedgeDelay time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// shard's circuit breaker (0 = DefaultBreakerThreshold, <0 = breakers
+	// disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// admitting a half-open probe (0 = DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// RetryRefill is the retry-budget refill per incoming request: the
+	// router may issue roughly this fraction of its request volume as
+	// failover retries, burst DefaultRetryBurst (0 = DefaultRetryRefill,
+	// <0 = unlimited retries).
+	RetryRefill float64
+	// BackoffBase and BackoffMax bound the jittered exponential delay
+	// between failover tries (0 = DefaultBackoffBase / DefaultBackoffMax).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives backoff jitter; the same seed yields the same delay
+	// sequence (0 = 1).
+	Seed int64
+	// RepairInterval is the anti-entropy scan period: each scan compares
+	// per-dataset epochs across the placement and re-streams snapshots to
+	// lagging replicas (0 = DefaultRepairInterval, <0 = repair disabled).
+	// The loop runs only after Start.
+	RepairInterval time.Duration
+	// RepairTimeout bounds one repair adoption — a full snapshot stream
+	// (0 = DefaultRepairTimeout).
+	RepairTimeout time.Duration
 	// Client issues proxied requests and rebalance adoptions; nil uses a
 	// dedicated client with pooled connections and no overall timeout
-	// (snapshot streams can be large).
+	// (per-try deadlines come from TryTimeout contexts instead).
 	Client *http.Client
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
@@ -63,6 +113,34 @@ const DefaultHealthInterval = 500 * time.Millisecond
 // DefaultProbeTimeout bounds one readiness probe round trip.
 const DefaultProbeTimeout = 2 * time.Second
 
+// DefaultTryTimeout bounds one proxied attempt against one shard.
+const DefaultTryTimeout = 2 * time.Second
+
+// DefaultBreakerThreshold is the consecutive-failure trip count.
+const DefaultBreakerThreshold = 5
+
+// DefaultBreakerCooldown is the open -> half-open delay.
+const DefaultBreakerCooldown = 2 * time.Second
+
+// DefaultBackoffBase and DefaultBackoffMax bound failover retry delays.
+const (
+	DefaultBackoffBase = 25 * time.Millisecond
+	DefaultBackoffMax  = 500 * time.Millisecond
+)
+
+// DefaultRetryRefill is the retry-budget refill per incoming request;
+// DefaultRetryBurst is the bucket capacity.
+const (
+	DefaultRetryRefill = 0.2
+	DefaultRetryBurst  = 10.0
+)
+
+// DefaultRepairInterval is the anti-entropy scan period.
+const DefaultRepairInterval = 10 * time.Second
+
+// DefaultRepairTimeout bounds one repair or rebalance snapshot adoption.
+const DefaultRepairTimeout = 60 * time.Second
+
 // shardState is the router's view of one shard, refreshed by the prober.
 type shardState struct {
 	addr  string
@@ -70,6 +148,12 @@ type shardState struct {
 	// datasets is the shard's inventory from its last successful probe
 	// (map[string]bool); nil until first probed.
 	datasets atomic.Value
+	// epochs is the shard's per-dataset epoch report from its last
+	// successful probe (map[string]uint64); nil until first probed.
+	epochs atomic.Value
+	// brk is the shard's circuit breaker; it survives ring changes so a
+	// re-added shard keeps its history.
+	brk *breaker
 }
 
 func (s *shardState) has(ds string) bool {
@@ -82,14 +166,23 @@ func (s *shardState) datasetCount() int {
 	return len(m)
 }
 
+func (s *shardState) epochOf(ds string) (uint64, bool) {
+	m, _ := s.epochs.Load().(map[string]uint64)
+	e, ok := m[ds]
+	return e, ok
+}
+
 // Router proxies the dataset API across a shard fleet. Create with
-// NewRouter, optionally Start the background prober, and Close when done.
-// Safe for concurrent use.
+// NewRouter, optionally Start the background prober and repair loop, and
+// Close when done. Safe for concurrent use.
 type Router struct {
-	opt    Options
-	client *http.Client
-	probe  *http.Client
-	met    *routerMetrics
+	opt     Options
+	client  *http.Client
+	probe   *http.Client
+	met     *routerMetrics
+	backoff *backoff
+	budget  *retryBudget
+	repair  *repairer
 
 	mu     sync.RWMutex
 	ring   *Ring
@@ -102,7 +195,8 @@ type Router struct {
 
 // NewRouter builds a router over the given shard addresses (host:port) and
 // synchronously probes each once, so a router over live shards routes
-// immediately. Call Start to keep probing in the background.
+// immediately. Call Start to keep probing (and repairing) in the
+// background.
 func NewRouter(shardAddrs []string, opt Options) (*Router, error) {
 	if opt.RF <= 0 {
 		opt.RF = DefaultRF
@@ -115,6 +209,30 @@ func NewRouter(shardAddrs []string, opt Options) (*Router, error) {
 	}
 	if opt.MaxRequestBytes <= 0 {
 		opt.MaxRequestBytes = 1 << 20
+	}
+	switch {
+	case opt.TryTimeout == 0:
+		opt.TryTimeout = DefaultTryTimeout
+	case opt.TryTimeout < 0:
+		opt.TryTimeout = 0
+	}
+	switch {
+	case opt.BreakerThreshold == 0:
+		opt.BreakerThreshold = DefaultBreakerThreshold
+	case opt.BreakerThreshold < 0:
+		opt.BreakerThreshold = 0 // disabled
+	}
+	if opt.BreakerCooldown <= 0 {
+		opt.BreakerCooldown = DefaultBreakerCooldown
+	}
+	switch {
+	case opt.RepairInterval == 0:
+		opt.RepairInterval = DefaultRepairInterval
+	case opt.RepairInterval < 0:
+		opt.RepairInterval = 0 // disabled
+	}
+	if opt.RepairTimeout <= 0 {
+		opt.RepairTimeout = DefaultRepairTimeout
 	}
 	if opt.Logf == nil {
 		opt.Logf = func(string, ...any) {}
@@ -131,22 +249,33 @@ func NewRouter(shardAddrs []string, opt Options) (*Router, error) {
 		return nil, errors.New("cluster: router needs at least one shard")
 	}
 	rt := &Router{
-		opt:    opt,
-		client: client,
-		probe:  &http.Client{Timeout: opt.ProbeTimeout},
-		met:    newRouterMetrics(),
-		ring:   ring,
-		shards: make(map[string]*shardState, ring.Len()),
-		done:   make(chan struct{}),
+		opt:     opt,
+		client:  client,
+		probe:   &http.Client{Timeout: opt.ProbeTimeout},
+		met:     newRouterMetrics(),
+		backoff: newBackoff(opt.BackoffBase, opt.BackoffMax, opt.Seed),
+		budget:  newRetryBudget(opt.RetryRefill),
+		ring:    ring,
+		shards:  make(map[string]*shardState, ring.Len()),
+		done:    make(chan struct{}),
 	}
+	rt.repair = newRepairer(rt)
 	for _, addr := range ring.Shards() {
-		rt.shards[addr] = &shardState{addr: addr}
+		rt.shards[addr] = rt.newShardState(addr)
 	}
 	rt.probeAll()
 	return rt, nil
 }
 
-// Start launches the background readiness prober.
+func (rt *Router) newShardState(addr string) *shardState {
+	return &shardState{
+		addr: addr,
+		brk:  newBreaker(rt.opt.BreakerThreshold, rt.opt.BreakerCooldown, nil),
+	}
+}
+
+// Start launches the background readiness prober and, when RepairInterval
+// is positive, the anti-entropy repair loop.
 func (rt *Router) Start() {
 	rt.wg.Add(1)
 	go func() {
@@ -162,9 +291,12 @@ func (rt *Router) Start() {
 			}
 		}
 	}()
+	if rt.opt.RepairInterval > 0 {
+		rt.startRepair()
+	}
 }
 
-// Close stops the prober. Idempotent.
+// Close stops the prober and repair loop. Idempotent.
 func (rt *Router) Close() {
 	rt.stopOnce.Do(func() { close(rt.done) })
 	rt.wg.Wait()
@@ -182,6 +314,14 @@ func (rt *Router) shardList() []*shardState {
 	return out
 }
 
+// shardFor returns the live state for one address, or nil if the address
+// left the ring.
+func (rt *Router) shardFor(addr string) *shardState {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.shards[addr]
+}
+
 // probeAll refreshes every shard's readiness and inventory, in parallel.
 func (rt *Router) probeAll() {
 	shards := rt.shardList()
@@ -197,9 +337,10 @@ func (rt *Router) probeAll() {
 }
 
 // probeShard polls one shard's /readyz: 200 means every registered world
-// is verified loadable, and the response carries the dataset inventory.
-// Any other status — including a 503 "loading" — leaves the shard out of
-// the routing set until it verifies.
+// is verified loadable, and the response carries the dataset inventory and
+// per-dataset epochs (the repair loop's lag signal). Any other status —
+// including a 503 "loading" — leaves the shard out of the routing set
+// until it verifies.
 func (rt *Router) probeShard(s *shardState) {
 	resp, err := rt.probe.Get("http://" + s.addr + "/readyz")
 	if err != nil {
@@ -210,7 +351,8 @@ func (rt *Router) probeShard(s *shardState) {
 	}
 	defer resp.Body.Close()
 	var rr struct {
-		Datasets []string `json:"datasets"`
+		Datasets []string          `json:"datasets"`
+		Epochs   map[string]uint64 `json:"epochs"`
 	}
 	dec := json.NewDecoder(io.LimitReader(resp.Body, 1<<20))
 	_ = dec.Decode(&rr)
@@ -225,6 +367,10 @@ func (rt *Router) probeShard(s *shardState) {
 		inv[ds] = true
 	}
 	s.datasets.Store(inv)
+	if rr.Epochs == nil {
+		rr.Epochs = map[string]uint64{}
+	}
+	s.epochs.Store(rr.Epochs)
 	if s.ready.CompareAndSwap(false, true) {
 		rt.opt.Logf("shard %s ready (%d datasets)", s.addr, len(inv))
 	}
@@ -245,6 +391,24 @@ func (rt *Router) OwnerOf(dataset string) (string, bool) {
 	defer rt.mu.RUnlock()
 	p := rt.ring.Primary(dataset)
 	return p, p != ""
+}
+
+// catalog returns the union of every shard's probed inventory, sorted.
+func (rt *Router) catalog() []string {
+	seen := map[string]bool{}
+	for _, s := range rt.shardList() {
+		if m, _ := s.datasets.Load().(map[string]bool); m != nil {
+			for ds := range m {
+				seen[ds] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for ds := range seen {
+		out = append(out, ds)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ServeHTTP routes: the router's own /healthz and /metrics, the /admin/ring
@@ -273,6 +437,7 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 type ShardHealth struct {
 	Addr     string   `json:"addr"`
 	Ready    bool     `json:"ready"`
+	Breaker  string   `json:"breaker"`
 	Datasets []string `json:"datasets,omitempty"`
 }
 
@@ -281,6 +446,20 @@ type RouterHealth struct {
 	Status string        `json:"status"`
 	RF     int           `json:"rf"`
 	Shards []ShardHealth `json:"shards"`
+	// Placements maps every cataloged dataset to its placement, primary
+	// first — the fleet's routing table at a glance.
+	Placements map[string][]string `json:"placements,omitempty"`
+}
+
+func breakerStateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
 }
 
 func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -290,7 +469,7 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	h := RouterHealth{Status: "ok", RF: rt.opt.RF}
 	for _, s := range rt.shardList() {
-		sh := ShardHealth{Addr: s.addr, Ready: s.ready.Load()}
+		sh := ShardHealth{Addr: s.addr, Ready: s.ready.Load(), Breaker: breakerStateName(s.brk.snapshot())}
 		if m, _ := s.datasets.Load().(map[string]bool); len(m) > 0 {
 			sh.Datasets = make([]string, 0, len(m))
 			for ds := range m {
@@ -299,6 +478,12 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 			sort.Strings(sh.Datasets)
 		}
 		h.Shards = append(h.Shards, sh)
+	}
+	if cat := rt.catalog(); len(cat) > 0 {
+		h.Placements = make(map[string][]string, len(cat))
+		for _, ds := range cat {
+			h.Placements[ds] = rt.Placement(ds)
+		}
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -310,7 +495,12 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	status := make([]shardStatus, 0)
 	for _, s := range rt.shardList() {
-		status = append(status, shardStatus{addr: s.addr, ready: s.ready.Load(), datasets: s.datasetCount()})
+		status = append(status, shardStatus{
+			addr:     s.addr,
+			ready:    s.ready.Load(),
+			datasets: s.datasetCount(),
+			breaker:  s.brk.snapshot(),
+		})
 	}
 	var sb strings.Builder
 	rt.met.write(&sb, status)
@@ -375,7 +565,8 @@ func (rt *Router) handleAdminRing(w http.ResponseWriter, r *http.Request) {
 // whose new placement includes a shard that does not hold it yet is
 // adopted there by streaming a current holder's snapshot. Returns the
 // executed moves. New shards are probed synchronously first, so a shard
-// that just booted empty participates immediately.
+// that just booted empty participates immediately. Shards that stay on the
+// ring keep their state — breakers included.
 func (rt *Router) SetShards(addrs []string) []Move {
 	ring := NewRing(addrs, rt.opt.VNodes)
 	rt.mu.Lock()
@@ -385,7 +576,7 @@ func (rt *Router) SetShards(addrs []string) []Move {
 		if s, ok := rt.shards[addr]; ok {
 			next[addr] = s
 		} else {
-			next[addr] = &shardState{addr: addr}
+			next[addr] = rt.newShardState(addr)
 		}
 	}
 	rt.shards = next
@@ -434,7 +625,7 @@ func (rt *Router) Rebalance() []Move {
 				continue
 			}
 			mv := Move{Dataset: ds, To: target, From: src}
-			if err := rt.adopt(target, ds, src); err != nil {
+			if err := rt.adopt(target, ds, src, false); err != nil {
 				mv.Error = err.Error()
 				rt.met.rebalanceErrs.Add(1)
 				rt.opt.Logf("rebalance: adopt %s onto %s from %s: %v", ds, target, src, err)
@@ -467,11 +658,22 @@ func pickSource(holding []string, byAddr map[string]*shardState) string {
 	return ""
 }
 
-// adopt tells target to pull dataset from src's snapshot stream.
-func (rt *Router) adopt(target, dataset, src string) error {
+// adopt tells target to pull dataset from src's snapshot stream, bounded
+// by RepairTimeout. replace re-streams over an existing (lagging) world.
+func (rt *Router) adopt(target, dataset, src string, replace bool) error {
 	from := "http://" + src + "/v1/" + dataset + "/snapshot"
 	u := "http://" + target + "/v1/" + dataset + "/adopt?from=" + url.QueryEscape(from)
-	resp, err := rt.client.Post(u, "application/json", nil)
+	if replace {
+		u += "&replace=1"
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opt.RepairTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -507,21 +709,23 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if op == "append" || op == "adopt" {
-		rt.proxyWrite(w, r, name, placement, body)
+		rt.proxyWrite(w, r, name, op, placement, body)
 		return
 	}
-	rt.proxyRead(w, r, placement, body)
+	rt.proxyRead(w, r, op, placement, body)
 }
 
-// shardRequest issues the request against one shard and returns the full
-// response. A nil error with any status is a shard answer; an error is a
-// transport failure.
-func (rt *Router) shardRequest(r *http.Request, addr string, body []byte) (*http.Response, []byte, error) {
+// shardRequest issues the request against one shard under ctx and returns
+// the full response. A nil error with any status is a shard answer; an
+// error is a transport failure. Canceled attempts (hedge losers, client
+// gone) return without touching metrics — they say nothing about the
+// shard; deadline expiries count on the per-shard timeout counter.
+func (rt *Router) shardRequest(ctx context.Context, r *http.Request, addr string, body []byte) (*http.Response, []byte, error) {
 	u := "http://" + addr + r.URL.Path
 	if r.URL.RawQuery != "" {
 		u += "?" + r.URL.RawQuery
 	}
-	req, err := http.NewRequest(r.Method, u, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, r.Method, u, bytes.NewReader(body))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -530,18 +734,23 @@ func (rt *Router) shardRequest(r *http.Request, addr string, body []byte) (*http
 	}
 	start := time.Now()
 	resp, err := rt.client.Do(req)
-	if err != nil {
-		rt.met.observe(addr, time.Since(start), true)
+	if err == nil {
+		var respBody []byte
+		respBody, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil {
+			rt.met.observe(addr, time.Since(start), resp.StatusCode >= 500)
+			return resp, respBody, nil
+		}
+	}
+	if errors.Is(err, context.Canceled) {
 		return nil, nil, err
 	}
-	defer resp.Body.Close()
-	respBody, err := io.ReadAll(resp.Body)
-	failed := err != nil || resp.StatusCode >= 500
-	rt.met.observe(addr, time.Since(start), failed)
-	if err != nil {
-		return nil, nil, err
+	if errors.Is(err, context.DeadlineExceeded) {
+		rt.met.shardTimeout(addr)
 	}
-	return resp, respBody, nil
+	rt.met.observe(addr, time.Since(start), true)
+	return nil, nil, err
 }
 
 // retriable reports whether a shard answer should fail over to the next
@@ -551,99 +760,399 @@ func retriable(status int) bool {
 	return status >= 500 || status == http.StatusNotFound
 }
 
-// proxyRead forwards a read, failing over along the placement. Shards the
-// prober marked down are skipped up front; a transport error or retriable
-// status moves on to the next replica. When every attempt fails the most
-// informative response wins: the last shard answer if any, else 502.
-func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, placement []string, body []byte) {
-	tried := 0
+// readCandidates orders a placement for attempts: ready shards whose
+// breaker admits first, then down-marked ones (the prober's view may be
+// stale), then breaker-denied shards as the very last resort. Ordering
+// uses the read-only admits() so an open breaker whose cooldown elapsed
+// sorts normally and the launch-time allow() performs its half-open
+// transition under regular traffic.
+func (rt *Router) readCandidates(placement []string) []*shardState {
+	rt.mu.RLock()
+	states := make([]*shardState, 0, len(placement))
+	for _, addr := range placement {
+		if s := rt.shards[addr]; s != nil {
+			states = append(states, s)
+		}
+	}
+	rt.mu.RUnlock()
+	out := make([]*shardState, 0, len(states))
+	var down, denied, downDenied []*shardState
+	for _, s := range states {
+		admits := s.brk.admits()
+		ready := s.ready.Load()
+		switch {
+		case ready && admits:
+			out = append(out, s)
+		case admits:
+			down = append(down, s)
+		case ready:
+			denied = append(denied, s)
+		default:
+			downDenied = append(downDenied, s)
+		}
+	}
+	out = append(out, down...)
+	out = append(out, denied...)
+	return append(out, downDenied...)
+}
+
+// attemptResult is one shard attempt's outcome.
+type attemptResult struct {
+	s        *shardState
+	hedged   bool
+	resp     *http.Response
+	body     []byte
+	err      error
+	canceled bool
+}
+
+// settleVerdict applies an attempt's outcome to its shard's breaker —
+// shared by the read loop and the post-return reaper that drains attempts
+// still in flight when a winner was already relayed.
+func (rt *Router) settleVerdict(res attemptResult) {
+	switch {
+	case res.canceled:
+		res.s.brk.onCancel()
+	case res.err != nil:
+		if res.s.brk.onFailure() {
+			rt.met.breakerTrips.Add(1)
+			rt.opt.Logf("breaker open: shard %s", res.s.addr)
+		}
+	case res.resp.StatusCode >= 500:
+		if res.s.brk.onFailure() {
+			rt.met.breakerTrips.Add(1)
+			rt.opt.Logf("breaker open: shard %s", res.s.addr)
+		}
+	default:
+		// Any non-5xx answer (404 included) proves the shard responsive.
+		res.s.brk.onSuccess()
+	}
+}
+
+// proxyRead forwards a read across the placement with per-try deadlines,
+// jittered backoff between failover tries, breaker-aware ordering, and an
+// optional hedged second attempt. The first non-retriable answer wins and
+// is relayed byte-for-byte; losers run out their per-try deadline in the
+// background so the breaker still learns from them. When every attempt fails
+// the most informative response wins: the last shard answer if any, else
+// 502.
+func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, op string, placement []string, body []byte) {
+	rt.budget.onRequest()
+	cands := rt.readCandidates(placement)
+	if len(cands) == 0 {
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": "no shard could serve the request"})
+		return
+	}
+	ctx := r.Context()
+	tryTimeout := rt.opt.TryTimeout
+	hedgeDelay := rt.opt.HedgeDelay
+	if op == "snapshot" {
+		// Snapshot streams legitimately run long, and hedging one doubles
+		// a whole-world transfer.
+		tryTimeout = rt.opt.RepairTimeout
+		hedgeDelay = 0
+	}
+
+	results := make(chan attemptResult, len(cands))
+	var cancels []context.CancelFunc
+	inflight := 0
+	next := 0
+
+	// launch starts an attempt against the next candidate whose breaker
+	// admits it; a denied candidate is only forced when skipping it would
+	// leave the request with no attempt at all (the forced try doubles as
+	// the breaker probe). Reports whether an attempt started.
+	launch := func(hedged bool) bool {
+		for next < len(cands) {
+			s := cands[next]
+			next++
+			lastResort := next == len(cands) && inflight == 0
+			if !s.brk.allow() && !lastResort {
+				continue
+			}
+			actx, cancel := context.WithCancel(ctx)
+			if tryTimeout > 0 {
+				// Detached from the request context on purpose: an attempt
+				// that loses to a hedge keeps running to its own per-try
+				// deadline so its verdict still settles on the breaker — a
+				// canceled attempt says nothing, and under pure hedged
+				// traffic a blackholed shard would otherwise never
+				// accumulate a single failure. The deadline bounds the
+				// straggler; a gone client cancels through the cleanup path.
+				actx, cancel = context.WithTimeout(context.Background(), tryTimeout)
+			}
+			cancels = append(cancels, cancel)
+			inflight++
+			if hedged {
+				rt.met.hedgesFired.Add(1)
+			}
+			go func(s *shardState, hedged bool) {
+				resp, respBody, err := rt.shardRequest(actx, r, s.addr, body)
+				results <- attemptResult{
+					s: s, hedged: hedged, resp: resp, body: respBody, err: err,
+					canceled: err != nil && errors.Is(err, context.Canceled),
+				}
+			}(s, hedged)
+			return true
+		}
+		return false
+	}
+
+	relayed := false
+	var retryTimer, hedgeTimer *time.Timer
+	var retryC, hedgeC <-chan time.Time
+	defer func() {
+		if retryTimer != nil {
+			retryTimer.Stop()
+		}
+		if hedgeTimer != nil {
+			hedgeTimer.Stop()
+		}
+		// After a relayed winner, losers with a per-try deadline run on:
+		// their natural outcome (a timeout on a blackholed shard, a slow
+		// success) is real breaker evidence. Everything else — client gone,
+		// or no deadline to bound the straggler — is canceled now.
+		if !relayed || tryTimeout <= 0 {
+			for _, cancel := range cancels {
+				cancel()
+			}
+		}
+		if inflight > 0 {
+			// Reap losers off-path so their breaker verdicts (and half-open
+			// probe slots) settle without delaying the response; the contexts
+			// are released once every straggler has reported in.
+			n, cs := inflight, cancels
+			go func() {
+				for i := 0; i < n; i++ {
+					rt.settleVerdict(<-results)
+				}
+				for _, cancel := range cs {
+					cancel()
+				}
+			}()
+			return
+		}
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+
+	if !launch(false) {
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": "no shard admitted the request"})
+		return
+	}
+	if hedgeDelay > 0 && next < len(cands) {
+		hedgeTimer = time.NewTimer(hedgeDelay)
+		hedgeC = hedgeTimer.C
+	}
+
+	retries := 0
 	var lastResp *http.Response
 	var lastBody []byte
 	var lastErr error
-	attempt := func(addr string) bool {
-		tried++
-		resp, respBody, err := rt.shardRequest(r, addr, body)
-		if err != nil {
-			lastErr = err
+
+	finishFailed := func() {
+		if lastResp != nil {
+			relay(w, lastResp, lastBody)
+			return
+		}
+		msg := "no shard could serve the request"
+		if lastErr != nil {
+			msg = lastErr.Error()
+		}
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": msg})
+	}
+
+	// scheduleRetry arms the backoff timer toward the next candidate, if
+	// the budget allows and candidates remain. Reports whether the request
+	// still has a path forward (an armed timer or an attempt in flight).
+	scheduleRetry := func() bool {
+		if retryC != nil || inflight > 0 {
+			return true
+		}
+		if next >= len(cands) {
 			return false
 		}
-		lastResp, lastBody = resp, respBody
-		return !retriable(resp.StatusCode)
+		if !rt.budget.withdraw() {
+			rt.met.budgetExhausted.Add(1)
+			rt.opt.Logf("retry budget exhausted; relaying last answer")
+			next = len(cands)
+			return false
+		}
+		retries++
+		rt.met.retries.Add(1)
+		rt.met.failovers.Add(1)
+		retryTimer = time.NewTimer(rt.backoff.delay(retries))
+		retryC = retryTimer.C
+		return true
 	}
-	for _, addr := range placement {
-		if !rt.isReady(addr) {
-			continue
-		}
-		if tried > 0 {
-			rt.met.failovers.Add(1)
-		}
-		if attempt(addr) {
-			relay(w, lastResp, lastBody)
+
+	for {
+		select {
+		case <-ctx.Done():
+			// Client gone; the deferred cleanup cancels and reaps.
 			return
+		case <-retryC:
+			retryC = nil
+			retryTimer = nil
+			if !launch(false) && inflight == 0 {
+				finishFailed()
+				return
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			hedgeTimer = nil
+			launch(true)
+		case res := <-results:
+			inflight--
+			rt.settleVerdict(res)
+			switch {
+			case res.canceled:
+				if ctx.Err() != nil {
+					return
+				}
+				if inflight == 0 && retryC == nil && !scheduleRetry() {
+					finishFailed()
+					return
+				}
+			case res.err == nil && !retriable(res.resp.StatusCode):
+				if res.hedged {
+					rt.met.hedgeWins.Add(1)
+				}
+				relayed = true
+				relay(w, res.resp, res.body)
+				return
+			default:
+				if res.err != nil {
+					lastErr = res.err
+				} else {
+					lastResp, lastBody = res.resp, res.body
+				}
+				if !scheduleRetry() {
+					finishFailed()
+					return
+				}
+			}
 		}
 	}
-	// Every placement shard was down or failed; as a last resort try the
-	// down-marked ones too — the prober's view may be stale.
-	for _, addr := range placement {
-		if rt.isReady(addr) {
-			continue
-		}
-		if tried > 0 {
-			rt.met.failovers.Add(1)
-		}
-		if attempt(addr) {
-			relay(w, lastResp, lastBody)
-			return
-		}
-	}
-	if lastResp != nil {
-		relay(w, lastResp, lastBody)
-		return
-	}
-	msg := "no shard could serve the request"
-	if lastErr != nil {
-		msg = lastErr.Error()
-	}
-	writeJSON(w, http.StatusBadGateway, map[string]string{"error": msg})
+}
+
+// ReplicaStatus is one replica's outcome in a routed append response.
+type ReplicaStatus struct {
+	Addr  string `json:"addr"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// appendBody mirrors server.AppendResponse field-for-field so the router
+// can decorate a primary's append answer with replica fan-out statuses
+// without importing the server package.
+type appendBody struct {
+	Dataset  string          `json:"dataset"`
+	Epoch    uint64          `json:"epoch"`
+	Appended int             `json:"appended"`
+	Claims   int             `json:"claims"`
+	Sources  int             `json:"sources"`
+	Objects  int             `json:"objects"`
+	Replicas []ReplicaStatus `json:"replicas,omitempty"`
 }
 
 // proxyWrite forwards an append (or adopt) to the dataset's primary and,
 // when the primary accepts an append, fans the same batch out to the
-// replicas so every copy advances to the same epoch. Replica failures are
-// counted and logged but do not fail the client's request — the replica
-// re-converges on the next rebalance adopt.
-func (rt *Router) proxyWrite(w http.ResponseWriter, r *http.Request, name string, placement []string, body []byte) {
+// replicas so every copy advances to the same epoch. Replica failures do
+// not fail the client's request, but they are counted
+// (currents_replica_append_failures_total), reported in the response's
+// "replicas" field, and enqueued for the repair loop — divergence is
+// observable the moment it happens, and heals without waiting for a
+// rebalance.
+func (rt *Router) proxyWrite(w http.ResponseWriter, r *http.Request, name, op string, placement []string, body []byte) {
+	// Appends recompute truth/dependence deltas; adoptions stream whole
+	// snapshots. Both get a laxer deadline than a point read.
+	timeout := rt.opt.RepairTimeout
+	if op == "append" && rt.opt.TryTimeout > 0 {
+		timeout = 4 * rt.opt.TryTimeout
+	}
+	writeCtx := func() (context.Context, context.CancelFunc) {
+		if timeout > 0 {
+			return context.WithTimeout(r.Context(), timeout)
+		}
+		return context.WithCancel(r.Context())
+	}
+
 	primary := placement[0]
-	resp, respBody, err := rt.shardRequest(r, primary, body)
+	ps := rt.shardFor(primary)
+	ctx, cancel := writeCtx()
+	resp, respBody, err := rt.shardRequest(ctx, r, primary, body)
+	cancel()
+	if ps != nil {
+		rt.settleVerdict(attemptResult{
+			s: ps, resp: resp, err: err,
+			canceled: err != nil && errors.Is(err, context.Canceled),
+		})
+	}
 	if err != nil {
 		writeJSON(w, http.StatusBadGateway,
 			map[string]string{"error": fmt.Sprintf("primary %s: %v", primary, err)})
 		return
 	}
-	if r.URL.Path == "/v1/"+name+"/append" && resp.StatusCode == http.StatusOK {
-		for _, replica := range placement[1:] {
-			rt.met.replicaAppends.Add(1)
-			rresp, rbody, rerr := rt.shardRequest(r, replica, body)
-			if rerr != nil || rresp.StatusCode != http.StatusOK {
-				rt.met.replicaAppErrs.Add(1)
-				if rerr != nil {
-					rt.opt.Logf("append %s: replica %s: %v", name, replica, rerr)
-				} else {
-					rt.opt.Logf("append %s: replica %s answered %d: %s",
-						name, replica, rresp.StatusCode, strings.TrimSpace(string(rbody)))
-				}
-			}
-		}
+	if op != "append" || resp.StatusCode != http.StatusOK {
+		relay(w, resp, respBody)
+		return
 	}
-	relay(w, resp, respBody)
+
+	statuses := make([]ReplicaStatus, 0, len(placement)-1)
+	for _, replica := range placement[1:] {
+		rt.met.replicaAppends.Add(1)
+		rctx, rcancel := writeCtx()
+		rresp, rbody, rerr := rt.shardRequest(rctx, r, replica, body)
+		rcancel()
+		if rs := rt.shardFor(replica); rs != nil {
+			rt.settleVerdict(attemptResult{
+				s: rs, resp: rresp, err: rerr,
+				canceled: rerr != nil && errors.Is(rerr, context.Canceled),
+			})
+		}
+		st := ReplicaStatus{Addr: replica, OK: true}
+		if rerr != nil || rresp.StatusCode != http.StatusOK {
+			rt.met.replicaAppErrs.Add(1)
+			st.OK = false
+			if rerr != nil {
+				st.Error = rerr.Error()
+				rt.opt.Logf("append %s: replica %s: %v", name, replica, rerr)
+			} else {
+				st.Error = fmt.Sprintf("status %d: %s", rresp.StatusCode, strings.TrimSpace(string(rbody)))
+				rt.opt.Logf("append %s: replica %s answered %d: %s",
+					name, replica, rresp.StatusCode, strings.TrimSpace(string(rbody)))
+			}
+			rt.repair.enqueue(name, replica)
+		}
+		statuses = append(statuses, st)
+	}
+	relayAppend(w, resp, respBody, statuses)
+}
+
+// relayAppend relays the primary's append answer with the replica fan-out
+// statuses folded in. If the body is not the expected JSON shape it is
+// relayed untouched.
+func relayAppend(w http.ResponseWriter, resp *http.Response, body []byte, statuses []ReplicaStatus) {
+	var ab appendBody
+	if len(statuses) == 0 || json.Unmarshal(body, &ab) != nil {
+		relay(w, resp, body)
+		return
+	}
+	ab.Replicas = statuses
+	out, err := json.Marshal(ab)
+	if err != nil {
+		relay(w, resp, body)
+		return
+	}
+	relay(w, resp, append(out, '\n'))
 }
 
 // isReady reports the prober's view of a shard; unknown shards are not
 // ready.
 func (rt *Router) isReady(addr string) bool {
-	rt.mu.RLock()
-	s := rt.shards[addr]
-	rt.mu.RUnlock()
+	s := rt.shardFor(addr)
 	return s != nil && s.ready.Load()
 }
 

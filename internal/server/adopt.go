@@ -56,31 +56,48 @@ var adoptClient = &http.Client{}
 // registered under name is ErrAlreadyRegistered (adoption is idempotent at
 // the fleet layer — the caller treats it as success).
 func AdoptFromURL(reg *Registry, name, from, dir string, cfg session.Config, client *http.Client) error {
+	_, err := adoptFromURL(reg, name, from, dir, cfg, client, false)
+	return err
+}
+
+// AdoptReplaceFromURL is AdoptFromURL in replace mode: an already-registered
+// dataset is overwritten with the fetched snapshot — session, epoch, and
+// disk file swap together — provided the fetched epoch is ahead of the
+// current one. This is the repair loop's convergence primitive: a replica
+// that missed append fan-outs re-streams the primary's world over its own.
+// The returned status is "adopted" (fresh), "replaced" (overwritten), or
+// "current" (the fetched snapshot was not newer; nothing changed).
+func AdoptReplaceFromURL(reg *Registry, name, from, dir string, cfg session.Config, client *http.Client) (string, error) {
+	return adoptFromURL(reg, name, from, dir, cfg, client, true)
+}
+
+func adoptFromURL(reg *Registry, name, from, dir string, cfg session.Config, client *http.Client, replace bool) (string, error) {
 	if !validName(name) {
-		return fmt.Errorf("%w: invalid dataset name %q", ErrBadRequest, name)
+		return "", fmt.Errorf("%w: invalid dataset name %q", ErrBadRequest, name)
 	}
 	if dir == "" {
-		return fmt.Errorf("%w: adoption disabled (no adopt directory configured)", ErrBadRequest)
+		return "", fmt.Errorf("%w: adoption disabled (no adopt directory configured)", ErrBadRequest)
 	}
-	if reg.Has(name) {
-		return fmt.Errorf("%w: %q", ErrAlreadyRegistered, name)
+	exists := reg.Has(name)
+	if exists && !replace {
+		return "", fmt.Errorf("%w: %q", ErrAlreadyRegistered, name)
 	}
 	if client == nil {
 		client = adoptClient
 	}
 	resp, err := client.Get(from)
 	if err != nil {
-		return fmt.Errorf("server: adopt %q: fetch %s: %w", name, from, err)
+		return "", fmt.Errorf("server: adopt %q: fetch %s: %w", name, from, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
-		return fmt.Errorf("server: adopt %q: %s answered %d: %s", name, from, resp.StatusCode, body)
+		return "", fmt.Errorf("server: adopt %q: %s answered %d: %s", name, from, resp.StatusCode, body)
 	}
 
 	tmp, err := os.CreateTemp(dir, ".adopt-*")
 	if err != nil {
-		return fmt.Errorf("server: adopt %q: %w", name, err)
+		return "", fmt.Errorf("server: adopt %q: %w", name, err)
 	}
 	tmpPath := tmp.Name()
 	// The temp file is removed on every exit path; after the successful
@@ -93,15 +110,15 @@ func AdoptFromURL(reg *Registry, name, from, dir string, cfg session.Config, cli
 		err = cerr
 	}
 	if err != nil {
-		return fmt.Errorf("server: adopt %q: stream: %w", name, err)
+		return "", fmt.Errorf("server: adopt %q: stream: %w", name, err)
 	}
 	if n >= maxSnapshotStream {
-		return fmt.Errorf("server: adopt %q: %w: stream exceeds %d bytes", name, snapio.ErrCorrupt, int64(maxSnapshotStream))
+		return "", fmt.Errorf("server: adopt %q: %w: stream exceeds %d bytes", name, snapio.ErrCorrupt, int64(maxSnapshotStream))
 	}
 	if want := resp.Header.Get(SnapshotCRCHeader); want != "" {
 		got := strconv.FormatUint(uint64(crc.Sum32()), 10)
 		if got != want {
-			return fmt.Errorf("server: adopt %q: %w: transfer CRC mismatch (got %s, want %s)",
+			return "", fmt.Errorf("server: adopt %q: %w: transfer CRC mismatch (got %s, want %s)",
 				name, snapio.ErrCorrupt, got, want)
 		}
 	}
@@ -113,21 +130,44 @@ func AdoptFromURL(reg *Registry, name, from, dir string, cfg session.Config, cli
 	// all of them.
 	s, err := session.LoadSnapshotFile(tmpPath, cfg)
 	if err != nil {
-		return fmt.Errorf("server: adopt %q: %w (%w)", name, snapio.ErrCorrupt, err)
+		return "", fmt.Errorf("server: adopt %q: %w (%w)", name, snapio.ErrCorrupt, err)
 	}
-	_ = s.Close()
 
+	if exists {
+		// Replace mode over a live world: only move forward. Epoch gaps in
+		// this fleet are always a lagging strict prefix (every placement
+		// member applies the same fan-out batches in order), so "not newer"
+		// means there is nothing to heal.
+		if cur, ok := reg.EpochIfKnown(name); ok && uint64(s.DatasetEpoch()) <= cur {
+			_ = s.Close()
+			return "current", nil
+		}
+		final := filepath.Join(dir, name+".snap")
+		if err := os.Rename(tmpPath, final); err != nil {
+			_ = s.Close()
+			return "", fmt.Errorf("server: adopt %q: %w", name, err)
+		}
+		if _, err := reg.Replace(name, s, final, cfg); err != nil {
+			_ = s.Close()
+			return "", fmt.Errorf("server: adopt %q: %w", name, err)
+		}
+		return "replaced", nil
+	}
+
+	epoch := uint64(s.DatasetEpoch())
+	_ = s.Close()
 	final := filepath.Join(dir, name+".snap")
 	if err := os.Rename(tmpPath, final); err != nil {
-		return fmt.Errorf("server: adopt %q: %w", name, err)
+		return "", fmt.Errorf("server: adopt %q: %w", name, err)
 	}
 	if err := reg.RegisterLazy(name, final, cfg); err != nil {
 		// Lost a race with a concurrent adopt or register; the file stays (it
 		// is valid and at its final name) but this call did not win.
-		return fmt.Errorf("%w: %q: %v", ErrAlreadyRegistered, name, err)
+		return "", fmt.Errorf("%w: %q: %v", ErrAlreadyRegistered, name, err)
 	}
 	reg.markVerified(name)
-	return nil
+	reg.recordEpoch(name, epoch)
+	return "adopted", nil
 }
 
 // Has reports whether name is registered (without loading anything).

@@ -492,9 +492,13 @@ type ReadyFailure struct {
 
 // ReadyResponse is the /readyz payload: 200/"ready" only when every
 // registered world verifiably opens. Datasets is the shard's inventory —
-// the router's prober reads it to know what lives where.
+// the router's prober reads it to know what lives where — and Epochs
+// reports each known dataset's append-log epoch, the signal the router's
+// anti-entropy repair loop compares across a placement to spot lagging
+// replicas.
 type ReadyResponse struct {
-	Status   string         `json:"status"`
-	Datasets []string       `json:"datasets"`
-	Failures []ReadyFailure `json:"failures,omitempty"`
+	Status   string            `json:"status"`
+	Datasets []string          `json:"datasets"`
+	Epochs   map[string]uint64 `json:"epochs,omitempty"`
+	Failures []ReadyFailure    `json:"failures,omitempty"`
 }

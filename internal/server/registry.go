@@ -66,7 +66,13 @@ type entry struct {
 	sess     *session.Session
 	epoch    uint64
 	spec     *reloadSpec
-	loaded   bool // epoch has been initialized from a load or Register
+	loaded   bool // epoch has been initialized from a load, verify, or Register
+	// dirty marks an entry whose serving state has diverged from the
+	// snapshot on disk (a live append swap). Dirty entries are never
+	// evicted — eviction reloads from disk, which would lose the appended
+	// epochs. Replace clears it: a re-streamed snapshot IS the serving
+	// state. Guarded by the registry lock, like sess and epoch.
+	dirty    bool
 	loadMu   sync.Mutex
 	pins     atomic.Int64
 	lastUsed atomic.Int64
@@ -276,7 +282,7 @@ func (r *Registry) evictLocked(keep *entry) {
 				continue
 			}
 			resident++
-			if e == keep || e.spec == nil || e.swaps.Load() != 0 || e.pins.Load() != 0 {
+			if e == keep || e.spec == nil || e.dirty || e.pins.Load() != 0 {
 				continue
 			}
 			if victim == nil || e.lastUsed.Load() < victim.lastUsed.Load() {
@@ -344,8 +350,80 @@ func (r *Registry) Swap(name string, next *session.Session) (uint64, error) {
 	}
 	e.sess = next
 	e.epoch++
+	e.dirty = true
 	e.swaps.Add(1)
 	return e.epoch, nil
+}
+
+// Replace installs a freshly streamed snapshot as name's new current
+// generation: session, epoch (taken from the snapshot's own append-log
+// epoch), and reload spec all swap together under the write lock. The old
+// chain's mapped sessions are graved and closed once in-flight requests
+// drain — exactly the quiescence contract Update uses. Because the new
+// serving state is byte-identical to the file at path, the entry comes out
+// clean (evictable) and verified. This is the repair path: a lagging
+// replica converges by adopting the primary's snapshot over its own world.
+func (r *Registry) Replace(name string, s *session.Session, path string, cfg session.Config) (uint64, error) {
+	if s == nil {
+		return 0, fmt.Errorf("server: nil session for %q", name)
+	}
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("server: unknown dataset %q", name)
+	}
+	var dead []*session.Session
+	if e.sess != nil {
+		dead = e.sess.TakeAllMapped()
+	}
+	e.sess = s
+	e.epoch = uint64(s.DatasetEpoch())
+	e.spec = &reloadSpec{path: path, cfg: cfg}
+	e.loaded = true
+	e.dirty = false
+	e.swaps.Add(1)
+	e.verified.Store(true)
+	epoch := e.epoch
+	r.mu.Unlock()
+	if len(dead) > 0 {
+		e.graveMu.Lock()
+		e.grave = append(e.grave, dead...)
+		e.graveLen.Store(int64(len(e.grave)))
+		e.graveMu.Unlock()
+		if e.pins.Load() == 0 {
+			r.reapGrave(e)
+		}
+	}
+	return epoch, nil
+}
+
+// KnownEpochs returns the epoch of every entry whose epoch is known (it
+// loaded, verified, or registered at least once) — the shard's /readyz
+// epoch report, which the router's anti-entropy repair loop compares
+// across a placement to find lagging replicas.
+func (r *Registry) KnownEpochs() map[string]uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]uint64, len(r.entries))
+	for name, e := range r.entries {
+		if e.loaded {
+			out[name] = e.epoch
+		}
+	}
+	return out
+}
+
+// EpochIfKnown returns name's current epoch, reporting false for unknown
+// names and for entries that never initialized their epoch.
+func (r *Registry) EpochIfKnown(name string) (uint64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok || !e.loaded {
+		return 0, false
+	}
+	return e.epoch, true
 }
 
 // Update runs fn against name's current session under the entry's update
@@ -494,6 +572,15 @@ func (r *Registry) VerifyAll() []ReadyStatus {
 				} else if s, err := session.LoadSnapshotFile(e.spec.path, e.spec.cfg); err != nil {
 					st.Err = fmt.Errorf("server: verify %s: %w", e.spec.path, err)
 				} else {
+					// The verify pass learned the world's epoch for free;
+					// record it so /readyz can report it without a real load
+					// (the repair loop's lag signal).
+					r.mu.Lock()
+					if !e.loaded {
+						e.epoch = uint64(s.DatasetEpoch())
+						e.loaded = true
+					}
+					r.mu.Unlock()
 					_ = s.Close()
 					e.verified.Store(true)
 				}
@@ -529,6 +616,18 @@ func (r *Registry) markVerified(name string) {
 	r.mu.RUnlock()
 	if ok {
 		e.verified.Store(true)
+	}
+}
+
+// recordEpoch caches an epoch learned externally (adopt validation reads
+// the snapshot end to end) so /readyz reports it before any real load.
+func (r *Registry) recordEpoch(name string, epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if ok && !e.loaded {
+		e.epoch = epoch
+		e.loaded = true
 	}
 }
 

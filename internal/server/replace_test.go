@@ -1,0 +1,149 @@
+// Replace-mode adoption: the repair loop's convergence primitive. A lagging
+// replica re-streams the primary's snapshot over its own world — session,
+// epoch, and disk file swap together — and "not newer" streams are refused
+// without touching anything.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sourcecurrents/internal/session"
+)
+
+const appendOneClaim = `{"claims":[{"source":"s_extra","entity":"o00000","attribute":"v","value":"zzz"}]}`
+
+// A replica that adopted at epoch 0 converges to the source's epoch 1 via
+// replace mode, serves byte-identical answers, and a re-replace of the same
+// stream reports "current" without re-installing anything.
+func TestAdoptReplaceConverges(t *testing.T) {
+	src, sessions := testServer(t)
+	dir := t.TempDir()
+	reg := NewRegistry()
+	cfg := session.DefaultConfig()
+	if err := AdoptFromURL(reg, "alpha", src.URL+"/v1/alpha/snapshot", dir, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := reg.EpochIfKnown("alpha"); !ok || e != 0 {
+		t.Fatalf("adopted epoch = %d (ok=%v), want 0", e, ok)
+	}
+
+	// The source advances an epoch the replica never sees — the divergence a
+	// failed fan-out leaves.
+	if resp, body := post(t, src.URL+"/v1/alpha/append", appendOneClaim); resp.StatusCode != http.StatusOK {
+		t.Fatalf("source append status %d: %s", resp.StatusCode, body)
+	}
+
+	status, err := AdoptReplaceFromURL(reg, "alpha", src.URL+"/v1/alpha/snapshot", dir, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "replaced" {
+		t.Fatalf("replace status = %q, want \"replaced\"", status)
+	}
+	if e, ok := reg.EpochIfKnown("alpha"); !ok || e != 1 {
+		t.Fatalf("post-replace epoch = %d (ok=%v), want 1", e, ok)
+	}
+
+	replica := httptest.NewServer(New(reg, Options{AdoptDir: dir, SessionCfg: cfg}))
+	defer replica.Close()
+	req := answerBody(t, sessions["alpha"], 5)
+	_, want := post(t, src.URL+"/v1/alpha/answer", req)
+	resp, got := post(t, replica.URL+"/v1/alpha/answer", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replica answer status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("replaced replica diverges from source:\n%s\n%s", got, want)
+	}
+
+	// Re-streaming the same epoch is "current": nothing to heal.
+	status, err = AdoptReplaceFromURL(reg, "alpha", src.URL+"/v1/alpha/snapshot", dir, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "current" {
+		t.Fatalf("re-replace status = %q, want \"current\"", status)
+	}
+	if e, _ := reg.EpochIfKnown("alpha"); e != 1 {
+		t.Fatalf("epoch after \"current\" = %d, want unchanged 1", e)
+	}
+}
+
+// The HTTP replace path must flush the answer cache: a cached pre-replace
+// answer served after the swap would undo the heal for exactly the queries
+// that matter.
+func TestAdoptReplaceFlushesAnswerCache(t *testing.T) {
+	src, sessions := testServer(t)
+	dir := t.TempDir()
+	reg := NewRegistry()
+	cfg := session.DefaultConfig()
+	if err := AdoptFromURL(reg, "alpha", src.URL+"/v1/alpha/snapshot", dir, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	replica := httptest.NewServer(New(reg, Options{AdoptDir: dir, SessionCfg: cfg, AnswerCacheSize: 64}))
+	defer replica.Close()
+
+	req := answerBody(t, sessions["alpha"], 5)
+	_, stale := post(t, replica.URL+"/v1/alpha/answer", req) // now cached
+
+	if resp, body := post(t, src.URL+"/v1/alpha/append", appendOneClaim); resp.StatusCode != http.StatusOK {
+		t.Fatalf("source append status %d: %s", resp.StatusCode, body)
+	}
+	_, fresh := post(t, src.URL+"/v1/alpha/answer", req)
+	if bytes.Equal(stale, fresh) {
+		t.Fatal("fixture bug: the append did not change the answer, cache flush is unobservable")
+	}
+
+	resp, body := post(t, replica.URL+"/v1/alpha/adopt?from="+src.URL+"/v1/alpha/snapshot&replace=1", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP replace status %d: %s", resp.StatusCode, body)
+	}
+	var ar AdoptResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Status != "replaced" {
+		t.Fatalf("HTTP replace status field = %q, want \"replaced\"", ar.Status)
+	}
+
+	resp, got := post(t, replica.URL+"/v1/alpha/answer", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-replace answer status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, fresh) {
+		t.Fatalf("post-replace answer is stale (cache not flushed):\n%s\n%s", got, fresh)
+	}
+}
+
+// /readyz reports each registered dataset's epoch — the repair loop's lag
+// signal — and the report tracks append swaps.
+func TestReadyzReportsEpochs(t *testing.T) {
+	src, _ := testServer(t)
+	decode := func() ReadyResponse {
+		t.Helper()
+		resp, body := get(t, src.URL+"/readyz")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("readyz status %d: %s", resp.StatusCode, body)
+		}
+		var rr ReadyResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		return rr
+	}
+	rr := decode()
+	if rr.Epochs["alpha"] != 0 || rr.Epochs["beta"] != 0 {
+		t.Fatalf("epochs = %v, want alpha and beta at 0", rr.Epochs)
+	}
+	if resp, body := post(t, src.URL+"/v1/alpha/append", appendOneClaim); resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status %d: %s", resp.StatusCode, body)
+	}
+	rr = decode()
+	if rr.Epochs["alpha"] != 1 || rr.Epochs["beta"] != 0 {
+		t.Fatalf("post-append epochs = %v, want alpha 1, beta 0", rr.Epochs)
+	}
+}

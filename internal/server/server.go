@@ -645,6 +645,7 @@ func (s *Server) handleReadyz() response {
 	if resp.Datasets == nil {
 		resp.Datasets = []string{}
 	}
+	resp.Epochs = s.reg.KnownEpochs()
 	return jsonResponse(status, resp)
 }
 
@@ -679,19 +680,37 @@ func (s *Server) handleSnapshot(sess *session.Session) response {
 type AdoptResponse struct {
 	Dataset string `json:"dataset"`
 	// Status is "adopted" for a fresh pull, "exists" when the shard already
-	// served the dataset (idempotent retry).
+	// served the dataset (idempotent retry), "replaced" when ?replace=1
+	// overwrote a stale world with a newer snapshot, and "current" when
+	// replace mode found nothing newer to install.
 	Status string `json:"status"`
 }
 
 // handleAdopt pulls a snapshot stream from the `from` URL and registers it
 // under name. Integrity failures surface as 502 (the upstream bytes were
-// bad), bad requests as 400; an already-registered dataset is success.
+// bad), bad requests as 400; an already-registered dataset is success —
+// unless ?replace=1 (the router's repair mode), which overwrites the
+// served world when the fetched snapshot's epoch is ahead. A replace
+// flushes every cached answer for the dataset: the old chain's epochs are
+// gone, and no stale bytes may outlive it.
 func (s *Server) handleAdopt(r *http.Request, name string) response {
 	from := r.URL.Query().Get("from")
 	if from == "" {
 		return errResponse(fmt.Errorf("%w: adopt needs ?from=<snapshot URL>", ErrBadRequest))
 	}
-	err := AdoptFromURL(s.reg, name, from, s.opt.AdoptDir, s.opt.SessionCfg, nil)
+	replace := false
+	switch r.URL.Query().Get("replace") {
+	case "1", "true":
+		replace = true
+	}
+	var status string
+	var err error
+	if replace {
+		status, err = AdoptReplaceFromURL(s.reg, name, from, s.opt.AdoptDir, s.opt.SessionCfg, nil)
+	} else {
+		status = "adopted"
+		err = AdoptFromURL(s.reg, name, from, s.opt.AdoptDir, s.opt.SessionCfg, nil)
+	}
 	switch {
 	case errors.Is(err, ErrAlreadyRegistered):
 		return jsonResponse(http.StatusOK, AdoptResponse{Dataset: name, Status: "exists"})
@@ -700,6 +719,11 @@ func (s *Server) handleAdopt(r *http.Request, name string) response {
 	case err != nil:
 		return errResponse(err)
 	}
-	s.opt.Logf("adopted %q from %s", name, from)
-	return jsonResponse(http.StatusOK, AdoptResponse{Dataset: name, Status: "adopted"})
+	if status == "replaced" {
+		if n := s.cache.flushPrefix(name + "\x00"); n > 0 {
+			s.opt.Logf("replace %s: flushed %d cached answers from the replaced chain", name, n)
+		}
+	}
+	s.opt.Logf("adopt %q from %s: %s", name, from, status)
+	return jsonResponse(http.StatusOK, AdoptResponse{Dataset: name, Status: status})
 }

@@ -11,12 +11,19 @@
 #      then serves the same bytes,
 #   5. POST /admin/ring rebalances onto the new shard set and routed reads
 #      keep answering the golden bytes,
-#   6. `currents append` lands through the router and reports the new epoch.
+#   6. `currents append` lands through the router and reports the new epoch,
+#   7. chaos drills: a second mini-fleet runs behind `currents chaos`
+#      fault-injection proxies, and a resilience-tuned router must hide a
+#      slow (+500 ms) shard, a blackholed shard (zero failed reads, bounded
+#      p99, breaker observed open, append fan-out failure repaired back to
+#      lag 0 with byte-identical answers), and a flapping shard.
 #
 #   scripts/fleet_e2e.sh [port-base]
 #
 # Shards listen on port-base+1..+4 (default 19001..19004), the router on
-# port-base+80 (default 19080).
+# port-base+80 (default 19080). The chaos fleet uses port-base+31..33
+# (upstream shards), +41..43 (chaos proxies — these go on the ring),
+# +51..53 (chaos admin), and +81 (the chaos router).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -125,5 +132,163 @@ echo "fleet_e2e: rebalanced ring still serves golden bytes through the router"
 grep -q 'epoch 1' "$WORK/append.txt"
 curl -fs -X POST --data-binary @"$REQ" "$ROUTER/v1/ci/answer" >/dev/null
 echo "fleet_e2e: append through the router advanced the dataset to epoch 1"
+
+# --- 7. Chaos drills: a fresh mini-fleet behind fault-injection proxies.
+#
+# The proxy addresses (not the shards') go on the ring, so every routed hop
+# crosses a proxy whose faults flip at runtime via its admin port. Dataset
+# names are chosen from the precomputed placement so D1's PRIMARY and D2's
+# REPLICA both sit behind the same proxy — the one we fault.
+U1=$((BASE + 31)); U2=$((BASE + 32)); U3=$((BASE + 33))
+CP1=$((BASE + 41)); CP2=$((BASE + 42)); CP3=$((BASE + 43))
+CA1=$((BASE + 51))
+PR2=$((BASE + 81))
+PA="127.0.0.1:$CP1"
+CRING="127.0.0.1:$CP1,127.0.0.1:$CP2,127.0.0.1:$CP3"
+ROUTER2="http://127.0.0.1:$PR2"
+
+# shellcheck disable=SC2046
+"$BIN" ring -shards "$CRING" -rf 2 $(for i in $(seq -w 0 63); do printf 'c%s ' "$i"; done) \
+  > "$WORK/placements.txt"
+D1="$(awk -v p="$PA" '$2 == p { print $1; exit }' "$WORK/placements.txt")"
+D2="$(awk -v p="$PA" '$3 == p { print $1; exit }' "$WORK/placements.txt")"
+D2PRIMARY="$(awk -v d="$D2" '$1 == d { print $2; exit }' "$WORK/placements.txt")"
+[ -n "$D1" ] && [ -n "$D2" ] && [ -n "$D2PRIMARY" ]
+echo "fleet_e2e: chaos datasets $D1 (primary behind $PA), $D2 (replica behind $PA, primary $D2PRIMARY)"
+
+mkdir -p "$WORK"/c1 "$WORK"/c2 "$WORK"/c3
+"$BIN" snapshot -o "$WORK/c1/$D1.snap" internal/server/testdata/ci_claims.csv
+"$BIN" snapshot -o "$WORK/c1/$D2.snap" internal/server/testdata/ci_claims.csv
+cp "$WORK/c1/$D1.snap" "$WORK/c2/"; cp "$WORK/c1/$D2.snap" "$WORK/c2/"
+cp "$WORK/c1/$D1.snap" "$WORK/c3/"; cp "$WORK/c1/$D2.snap" "$WORK/c3/"
+
+for i in 1 2 3; do
+  uport_var="U$i"; cport_var="CP$i"
+  uport="${!uport_var}"; cport="${!cport_var}"
+  "$BIN" server -addr "127.0.0.1:$uport" -load "$WORK/c$i" -adopt-dir load \
+    -ring "$CRING" -self "127.0.0.1:$cport" 2>>"$WORK/chaos-shard-$i.log" &
+  PIDS+=("$!")
+  "$BIN" chaos -listen "127.0.0.1:$cport" -upstream "127.0.0.1:$uport" \
+    -admin "127.0.0.1:$((BASE + 50 + i))" 2>>"$WORK/chaos-proxy-$i.log" &
+  PIDS+=("$!")
+done
+wait_ready "http://127.0.0.1:$CP1/readyz"
+wait_ready "http://127.0.0.1:$CP2/readyz"
+wait_ready "http://127.0.0.1:$CP3/readyz"
+
+"$BIN" router -addr "127.0.0.1:$PR2" -shards "$CRING" -rf 2 \
+  -try-timeout 1s -probe-timeout 1s -breaker-threshold 3 -breaker-cooldown 2s \
+  -hedge-delay 100ms -retry-budget 0.5 -repair-interval 1s -repair-timeout 5s \
+  -seed 1 2>>"$WORK/router2.log" &
+PIDS+=("$!")
+wait_ready "$ROUTER2/healthz"
+
+set_fault() { # admin-port faults-json ('{}' lifts everything)
+  curl -fs -X POST -d "$2" "http://127.0.0.1:$1/faults" >/dev/null
+}
+p99_ms() { # loadgen-output-file -> client-side p99 as integer milliseconds
+  awk '/^latency:/ { for (i = 1; i < NF; i++) if ($i == "p99") v = $(i + 1) }
+       END {
+         if (v ~ /µs$/)            { sub(/µs$/, "", v); printf "%d", v / 1000 }
+         else if (v ~ /ms$/)       { sub(/ms$/, "", v); printf "%d", v }
+         else if (v ~ /^[0-9.]+s$/) { sub(/s$/, "", v);  printf "%d", v * 1000 }
+         else printf "999999"
+       }' "$1"
+}
+
+# Fault-free warmup: routed chaos-fleet answers still match the golden.
+curl -fs -X POST --data-binary @"$REQ" "$ROUTER2/v1/$D1/answer" > "$WORK/chaos-warm.json"
+diff "$GOLDEN" "$WORK/chaos-warm.json"
+curl -fs -X POST --data-binary @"$REQ" "$ROUTER2/v1/$D2/answer" > "$WORK/chaos-warm2.json"
+diff "$GOLDEN" "$WORK/chaos-warm2.json"
+
+# --- 7a. Slow shard: +500ms on D1's primary. Hedged reads must hide the
+#         delay — zero failed reads and p99 bounded by 2x the try timeout.
+set_fault "$CA1" '{"latency_ms":500}'
+"$BIN" loadgen -addr "$ROUTER2" -dataset "$D1" -router \
+  -query "Dong,affiliation;Carey,affiliation" -concurrency 4 -duration 4s \
+  > "$WORK/chaos-slow.txt" 2>&1
+grep 'router mode PASS: zero failed reads' "$WORK/chaos-slow.txt"
+grep 'router resilience:' "$WORK/chaos-slow.txt"
+if grep 'router resilience:' "$WORK/chaos-slow.txt" | grep -q ' 0 hedged '; then
+  echo "fleet_e2e: slow-shard run fired no hedges" >&2; exit 1
+fi
+P99="$(p99_ms "$WORK/chaos-slow.txt")"
+if [ "$P99" -gt 2000 ]; then
+  echo "fleet_e2e: slow-shard p99 ${P99}ms exceeds 2000ms (2x try-timeout)" >&2; exit 1
+fi
+set_fault "$CA1" '{}'
+echo "fleet_e2e: slow shard hidden by hedged reads (p99 ${P99}ms)"
+
+# --- 7b. Blackholed shard: accepts connections, never answers — the gray
+#         failure. Reads must stay clean and bounded, the breaker must trip
+#         open, and an append whose replica fan-out dies behind the fault
+#         must heal via the repair loop once the fault lifts.
+set_fault "$CA1" '{"blackhole":true}'
+"$BIN" loadgen -addr "$ROUTER2" -dataset "$D1" -router \
+  -query "Dong,affiliation;Carey,affiliation" -concurrency 4 -duration 5s \
+  > "$WORK/chaos-hole.txt" 2>&1
+grep 'router mode PASS: zero failed reads' "$WORK/chaos-hole.txt"
+P99="$(p99_ms "$WORK/chaos-hole.txt")"
+if [ "$P99" -gt 2000 ]; then
+  echo "fleet_e2e: blackhole p99 ${P99}ms exceeds 2000ms (2x try-timeout)" >&2; exit 1
+fi
+for _ in $(seq 1 40); do
+  curl -fs "$ROUTER2/metrics" > "$WORK/chaos-metrics.txt"
+  grep -q "currents_router_breaker_state{shard=\"$PA\"} 2" "$WORK/chaos-metrics.txt" && break
+  sleep 0.25
+done
+grep "currents_router_breaker_state{shard=\"$PA\"} 2" "$WORK/chaos-metrics.txt"
+grep -q '^currents_router_breaker_trips_total [1-9]' "$WORK/chaos-metrics.txt"
+echo "fleet_e2e: blackholed shard tripped its breaker (p99 ${P99}ms, zero failed reads)"
+
+# Append to D2: the primary (healthy proxy) accepts, the replica behind the
+# blackhole misses the epoch — the failure must be counted, reported, and
+# visible as replica lag once the prober refreshes the primary's epoch.
+"$BIN" append -addr "$ROUTER2" -dataset "$D2" internal/server/testdata/ci_claims.csv \
+  2> "$WORK/chaos-append.txt"
+grep -q 'epoch 1' "$WORK/chaos-append.txt"
+curl -fs "$ROUTER2/metrics" | grep -q '^currents_replica_append_failures_total [1-9]'
+for _ in $(seq 1 40); do
+  curl -fs "$ROUTER2/metrics" > "$WORK/chaos-metrics.txt"
+  grep -q "currents_replica_lag{dataset=\"$D2\",shard=\"$PA\"} 1" "$WORK/chaos-metrics.txt" && break
+  sleep 0.25
+done
+grep "currents_replica_lag{dataset=\"$D2\",shard=\"$PA\"} 1" "$WORK/chaos-metrics.txt"
+
+# Lift the fault: the repair loop must re-stream the primary's snapshot onto
+# the lagging replica and drive the lag gauge back to 0.
+set_fault "$CA1" '{}'
+for _ in $(seq 1 60); do
+  curl -fs "$ROUTER2/metrics" > "$WORK/chaos-metrics.txt"
+  grep -q "currents_replica_lag{dataset=\"$D2\",shard=\"$PA\"} 0" "$WORK/chaos-metrics.txt" && break
+  sleep 0.5
+done
+grep "currents_replica_lag{dataset=\"$D2\",shard=\"$PA\"} 0" "$WORK/chaos-metrics.txt"
+grep -q '^currents_router_repairs_total [1-9]' "$WORK/chaos-metrics.txt"
+# The healed replica serves the repaired epoch byte-identically to the
+# primary — through both proxies, pinned with ?as_of.
+curl -fs -X POST --data-binary @"$REQ" "http://$D2PRIMARY/v1/$D2/answer?as_of=1" > "$WORK/chaos-primary.json"
+curl -fs -X POST --data-binary @"$REQ" "http://$PA/v1/$D2/answer?as_of=1" > "$WORK/chaos-healed.json"
+diff "$WORK/chaos-primary.json" "$WORK/chaos-healed.json"
+echo "fleet_e2e: blackholed replica repaired to lag 0, answers byte-identical to primary"
+
+# --- 7c. Flapping shard: the fault toggles every ~700ms for the whole run.
+#         Breaker plus retries must still deliver zero failed reads.
+(
+  for _ in $(seq 1 5); do
+    set_fault "$CA1" '{"error_prob":1}'; sleep 0.7
+    set_fault "$CA1" '{}'; sleep 0.7
+  done
+) &
+FLAP_PID="$!"
+"$BIN" loadgen -addr "$ROUTER2" -dataset "$D1" -router \
+  -query "Dong,affiliation;Carey,affiliation" -concurrency 4 -duration 6s \
+  > "$WORK/chaos-flap.txt" 2>&1
+wait "$FLAP_PID" || true
+set_fault "$CA1" '{}'
+grep 'router mode PASS: zero failed reads' "$WORK/chaos-flap.txt"
+grep 'router resilience:' "$WORK/chaos-flap.txt"
+echo "fleet_e2e: flapping shard hidden (zero failed reads across 10 fault flips)"
 
 echo "fleet_e2e: PASS"
