@@ -712,7 +712,43 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 		rt.proxyWrite(w, r, name, op, placement, body)
 		return
 	}
+	if op == "snapshot" {
+		// Whole-world snapshots stream through without buffering; routing
+		// them through the buffered read path would hold entire worlds in
+		// router memory under concurrent pulls.
+		rt.proxySnapshot(w, r, placement, body)
+		return
+	}
 	rt.proxyRead(w, r, op, placement, body)
+}
+
+// maxRelayBytes caps a buffered shard response on the routed read/write
+// path. Snapshot streams never pass through the buffer (proxySnapshot
+// relays them without materializing the body); every other operation
+// answers JSON, so anything larger than this is a fault, not a payload.
+const maxRelayBytes = 32 << 20
+
+// snapshotCRCHeader mirrors server.SnapshotCRCHeader, which the adopting
+// side verifies end to end (the cluster package deliberately does not
+// import server).
+const snapshotCRCHeader = "X-Snapshot-CRC32"
+
+// shardShoot issues the routed request against one shard under ctx and
+// returns the raw response with its body unread — the shared first half of
+// the buffered (shardRequest) and streaming (proxySnapshot) relays.
+func (rt *Router) shardShoot(ctx context.Context, r *http.Request, addr string, body []byte) (*http.Response, error) {
+	u := "http://" + addr + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	return rt.client.Do(req)
 }
 
 // shardRequest issues the request against one shard under ctx and returns
@@ -721,23 +757,15 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 // gone) return without touching metrics — they say nothing about the
 // shard; deadline expiries count on the per-shard timeout counter.
 func (rt *Router) shardRequest(ctx context.Context, r *http.Request, addr string, body []byte) (*http.Response, []byte, error) {
-	u := "http://" + addr + r.URL.Path
-	if r.URL.RawQuery != "" {
-		u += "?" + r.URL.RawQuery
-	}
-	req, err := http.NewRequestWithContext(ctx, r.Method, u, bytes.NewReader(body))
-	if err != nil {
-		return nil, nil, err
-	}
-	if ct := r.Header.Get("Content-Type"); ct != "" {
-		req.Header.Set("Content-Type", ct)
-	}
 	start := time.Now()
-	resp, err := rt.client.Do(req)
+	resp, err := rt.shardShoot(ctx, r, addr, body)
 	if err == nil {
 		var respBody []byte
-		respBody, err = io.ReadAll(resp.Body)
+		respBody, err = io.ReadAll(io.LimitReader(resp.Body, maxRelayBytes+1))
 		resp.Body.Close()
+		if err == nil && len(respBody) > maxRelayBytes {
+			err = fmt.Errorf("shard %s: response exceeds the %d-byte relay cap", addr, maxRelayBytes)
+		}
 		if err == nil {
 			rt.met.observe(addr, time.Since(start), resp.StatusCode >= 500)
 			return resp, respBody, nil
@@ -846,12 +874,6 @@ func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, op string, p
 	ctx := r.Context()
 	tryTimeout := rt.opt.TryTimeout
 	hedgeDelay := rt.opt.HedgeDelay
-	if op == "snapshot" {
-		// Snapshot streams legitimately run long, and hedging one doubles
-		// a whole-world transfer.
-		tryTimeout = rt.opt.RepairTimeout
-		hedgeDelay = 0
-	}
 
 	results := make(chan attemptResult, len(cands))
 	var cancels []context.CancelFunc
@@ -1037,6 +1059,92 @@ func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, op string, p
 	}
 }
 
+// proxySnapshot relays a whole-world snapshot without buffering it in
+// router memory: candidates are tried in placement order under the repair
+// deadline (snapshot transfers legitimately run long, and hedging one would
+// double a whole-world stream), and the first 200 answer's body is copied
+// straight through to the client. Failover is only possible before the
+// first relayed byte; a mid-stream failure aborts the response, and the
+// client retries (adopt validates end to end, so a torn stream is caught).
+func (rt *Router) proxySnapshot(w http.ResponseWriter, r *http.Request, placement []string, body []byte) {
+	cands := rt.readCandidates(placement)
+	if len(cands) == 0 {
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": "no shard could serve the request"})
+		return
+	}
+	var lastResp *http.Response
+	var lastBody []byte
+	var lastErr error
+	attempted := false
+	for i, s := range cands {
+		// Same breaker policy as launch: skip denied shards unless skipping
+		// would leave the request with no attempt at all (the forced try
+		// doubles as the breaker probe).
+		lastResort := i == len(cands)-1 && !attempted
+		if !s.brk.allow() && !lastResort {
+			continue
+		}
+		attempted = true
+		actx, cancel := context.WithTimeout(r.Context(), rt.opt.RepairTimeout)
+		start := time.Now()
+		resp, err := rt.shardShoot(actx, r, s.addr, body)
+		if err != nil {
+			cancel()
+			if errors.Is(err, context.Canceled) {
+				return // client gone; says nothing about the shard
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				rt.met.shardTimeout(s.addr)
+			}
+			rt.met.observe(s.addr, time.Since(start), true)
+			rt.settleVerdict(attemptResult{s: s, err: err})
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			cancel()
+			rt.met.observe(s.addr, time.Since(start), resp.StatusCode >= 500)
+			rt.settleVerdict(attemptResult{s: s, resp: resp})
+			if retriable(resp.StatusCode) {
+				lastResp, lastBody = resp, b
+				continue
+			}
+			relay(w, resp, b)
+			return
+		}
+		// 200: stream straight through. The verdict settles on the headers —
+		// the shard answered; a broken transfer surfaces to the client, whose
+		// adopt-side validation rejects the torn world.
+		rt.met.observe(s.addr, time.Since(start), false)
+		rt.settleVerdict(attemptResult{s: s, resp: resp})
+		for _, h := range []string{"Content-Type", "Content-Length", snapshotCRCHeader} {
+			if v := resp.Header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.Header().Set("X-Content-Type-Options", "nosniff")
+		w.WriteHeader(http.StatusOK)
+		_, cerr := io.Copy(w, resp.Body)
+		resp.Body.Close()
+		cancel()
+		if cerr != nil {
+			rt.opt.Logf("snapshot relay from %s aborted mid-stream: %v", s.addr, cerr)
+		}
+		return
+	}
+	if lastResp != nil {
+		relay(w, lastResp, lastBody)
+		return
+	}
+	msg := "no shard could serve the request"
+	if lastErr != nil {
+		msg = lastErr.Error()
+	}
+	writeJSON(w, http.StatusBadGateway, map[string]string{"error": msg})
+}
+
 // ReplicaStatus is one replica's outcome in a routed append response.
 type ReplicaStatus struct {
 	Addr  string `json:"addr"`
@@ -1100,34 +1208,45 @@ func (rt *Router) proxyWrite(w http.ResponseWriter, r *http.Request, name, op st
 		return
 	}
 
-	statuses := make([]ReplicaStatus, 0, len(placement)-1)
-	for _, replica := range placement[1:] {
+	// Fan out to the replicas concurrently: the client-visible cost of
+	// replication is one write deadline regardless of replica count, so a
+	// single hung replica cannot stack its timeout onto every append's
+	// latency (failures are repaired asynchronously anyway).
+	replicas := placement[1:]
+	statuses := make([]ReplicaStatus, len(replicas))
+	var wg sync.WaitGroup
+	for i, replica := range replicas {
 		rt.met.replicaAppends.Add(1)
-		rctx, rcancel := writeCtx()
-		rresp, rbody, rerr := rt.shardRequest(rctx, r, replica, body)
-		rcancel()
-		if rs := rt.shardFor(replica); rs != nil {
-			rt.settleVerdict(attemptResult{
-				s: rs, resp: rresp, err: rerr,
-				canceled: rerr != nil && errors.Is(rerr, context.Canceled),
-			})
-		}
-		st := ReplicaStatus{Addr: replica, OK: true}
-		if rerr != nil || rresp.StatusCode != http.StatusOK {
-			rt.met.replicaAppErrs.Add(1)
-			st.OK = false
-			if rerr != nil {
-				st.Error = rerr.Error()
-				rt.opt.Logf("append %s: replica %s: %v", name, replica, rerr)
-			} else {
-				st.Error = fmt.Sprintf("status %d: %s", rresp.StatusCode, strings.TrimSpace(string(rbody)))
-				rt.opt.Logf("append %s: replica %s answered %d: %s",
-					name, replica, rresp.StatusCode, strings.TrimSpace(string(rbody)))
+		wg.Add(1)
+		go func(i int, replica string) {
+			defer wg.Done()
+			rctx, rcancel := writeCtx()
+			rresp, rbody, rerr := rt.shardRequest(rctx, r, replica, body)
+			rcancel()
+			if rs := rt.shardFor(replica); rs != nil {
+				rt.settleVerdict(attemptResult{
+					s: rs, resp: rresp, err: rerr,
+					canceled: rerr != nil && errors.Is(rerr, context.Canceled),
+				})
 			}
-			rt.repair.enqueue(name, replica)
-		}
-		statuses = append(statuses, st)
+			st := ReplicaStatus{Addr: replica, OK: true}
+			if rerr != nil || rresp.StatusCode != http.StatusOK {
+				rt.met.replicaAppErrs.Add(1)
+				st.OK = false
+				if rerr != nil {
+					st.Error = rerr.Error()
+					rt.opt.Logf("append %s: replica %s: %v", name, replica, rerr)
+				} else {
+					st.Error = fmt.Sprintf("status %d: %s", rresp.StatusCode, strings.TrimSpace(string(rbody)))
+					rt.opt.Logf("append %s: replica %s answered %d: %s",
+						name, replica, rresp.StatusCode, strings.TrimSpace(string(rbody)))
+				}
+				rt.repair.enqueue(name, replica)
+			}
+			statuses[i] = st
+		}(i, replica)
 	}
+	wg.Wait()
 	relayAppend(w, resp, respBody, statuses)
 }
 

@@ -56,7 +56,7 @@ var adoptClient = &http.Client{}
 // registered under name is ErrAlreadyRegistered (adoption is idempotent at
 // the fleet layer — the caller treats it as success).
 func AdoptFromURL(reg *Registry, name, from, dir string, cfg session.Config, client *http.Client) error {
-	_, err := adoptFromURL(reg, name, from, dir, cfg, client, false)
+	_, err := adoptFromURL(reg, name, from, dir, cfg, client, false, nil)
 	return err
 }
 
@@ -67,11 +67,18 @@ func AdoptFromURL(reg *Registry, name, from, dir string, cfg session.Config, cli
 // that missed append fan-outs re-streams the primary's world over its own.
 // The returned status is "adopted" (fresh), "replaced" (overwritten), or
 // "current" (the fetched snapshot was not newer; nothing changed).
-func AdoptReplaceFromURL(reg *Registry, name, from, dir string, cfg session.Config, client *http.Client) (string, error) {
-	return adoptFromURL(reg, name, from, dir, cfg, client, true)
+//
+// The epoch comparison and the install are one atomic step
+// (Registry.Replace holds the entry's update and load mutexes across
+// both), so a replace can never shadow an epoch a concurrent append just
+// produced on the old chain. onReplaced, when non-nil, runs inside that
+// critical section just before the new chain becomes visible — the
+// server's hook for flushing cached answers keyed to the replaced chain.
+func AdoptReplaceFromURL(reg *Registry, name, from, dir string, cfg session.Config, client *http.Client, onReplaced func()) (string, error) {
+	return adoptFromURL(reg, name, from, dir, cfg, client, true, onReplaced)
 }
 
-func adoptFromURL(reg *Registry, name, from, dir string, cfg session.Config, client *http.Client, replace bool) (string, error) {
+func adoptFromURL(reg *Registry, name, from, dir string, cfg session.Config, client *http.Client, replace bool, onReplaced func()) (string, error) {
 	if !validName(name) {
 		return "", fmt.Errorf("%w: invalid dataset name %q", ErrBadRequest, name)
 	}
@@ -137,17 +144,25 @@ func adoptFromURL(reg *Registry, name, from, dir string, cfg session.Config, cli
 		// Replace mode over a live world: only move forward. Epoch gaps in
 		// this fleet are always a lagging strict prefix (every placement
 		// member applies the same fan-out batches in order), so "not newer"
-		// means there is nothing to heal.
-		if cur, ok := reg.EpochIfKnown(name); ok && uint64(s.DatasetEpoch()) <= cur {
+		// means there is nothing to heal. The epoch check lives inside
+		// Replace, atomically with the install — and the rename runs in its
+		// commit slot, so the disk file is only overwritten once the swap is
+		// certain to land and the serving session and snapshot swap together.
+		final := filepath.Join(dir, name+".snap")
+		_, err := reg.Replace(name, s, final, cfg, func() error {
+			if err := os.Rename(tmpPath, final); err != nil {
+				return err
+			}
+			if onReplaced != nil {
+				onReplaced()
+			}
+			return nil
+		})
+		switch {
+		case errors.Is(err, ErrReplaceStale):
 			_ = s.Close()
 			return "current", nil
-		}
-		final := filepath.Join(dir, name+".snap")
-		if err := os.Rename(tmpPath, final); err != nil {
-			_ = s.Close()
-			return "", fmt.Errorf("server: adopt %q: %w", name, err)
-		}
-		if _, err := reg.Replace(name, s, final, cfg); err != nil {
+		case err != nil:
 			_ = s.Close()
 			return "", fmt.Errorf("server: adopt %q: %w", name, err)
 		}

@@ -355,24 +355,66 @@ func (r *Registry) Swap(name string, next *session.Session) (uint64, error) {
 	return e.epoch, nil
 }
 
+// ErrReplaceStale reports a Replace whose candidate snapshot does not
+// advance the live epoch: the dataset moved on (or was already replaced)
+// between the snapshot being streamed and the swap, so there is nothing to
+// heal and nothing was changed.
+var ErrReplaceStale = errors.New("server: replacement snapshot is not newer than the live epoch")
+
 // Replace installs a freshly streamed snapshot as name's new current
 // generation: session, epoch (taken from the snapshot's own append-log
-// epoch), and reload spec all swap together under the write lock. The old
-// chain's mapped sessions are graved and closed once in-flight requests
-// drain — exactly the quiescence contract Update uses. Because the new
-// serving state is byte-identical to the file at path, the entry comes out
-// clean (evictable) and verified. This is the repair path: a lagging
-// replica converges by adopting the primary's snapshot over its own world.
-func (r *Registry) Replace(name string, s *session.Session, path string, cfg session.Config) (uint64, error) {
+// epoch), and reload spec all swap together. The old chain's mapped
+// sessions are graved and closed once in-flight requests drain — exactly
+// the quiescence contract Update uses. Because the new serving state is
+// byte-identical to the file at path, the entry comes out clean (evictable)
+// and verified. This is the repair path: a lagging replica converges by
+// adopting the primary's snapshot over its own world.
+//
+// Replace is a compare-and-swap on the epoch: it holds the entry's update
+// mutex (so no concurrent append can build a successor on the pre-replace
+// chain and swap it in at an epoch the replace would shadow — the
+// same-epoch fork the epoch-comparing repair scan could never detect) and
+// the load mutex (so a concurrent lazy load cannot reinstall the old
+// snapshot over the replaced session), and only then rechecks the live
+// epoch. A candidate at or behind the live epoch returns ErrReplaceStale
+// with nothing changed. commit, when non-nil, runs after the epoch check
+// passes and before the new session becomes visible — the caller's slot for
+// renaming the snapshot into the serving directory and flushing caches
+// keyed to the replaced chain; a commit error aborts the replace.
+func (r *Registry) Replace(name string, s *session.Session, path string, cfg session.Config, commit func() error) (uint64, error) {
 	if s == nil {
 		return 0, fmt.Errorf("server: nil session for %q", name)
 	}
-	r.mu.Lock()
+	r.mu.RLock()
 	e, ok := r.entries[name]
+	r.mu.RUnlock()
 	if !ok {
-		r.mu.Unlock()
 		return 0, fmt.Errorf("server: unknown dataset %q", name)
 	}
+	// Entries are never removed from the map, so the pointer stays valid
+	// across the unlock. updateMu before loadMu mirrors Update's order
+	// (updateMu, then Acquire's load takes loadMu).
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+
+	r.mu.RLock()
+	cur, known := e.epoch, e.loaded
+	r.mu.RUnlock()
+	// With both mutexes held nothing can advance the epoch or initialize it
+	// (Update, load, VerifyAll all serialize against them), so this check
+	// holds through the install below.
+	if known && uint64(s.DatasetEpoch()) <= cur {
+		return 0, ErrReplaceStale
+	}
+	if commit != nil {
+		if err := commit(); err != nil {
+			return 0, err
+		}
+	}
+
+	r.mu.Lock()
 	var dead []*session.Session
 	if e.sess != nil {
 		dead = e.sess.TakeAllMapped()

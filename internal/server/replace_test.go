@@ -7,9 +7,13 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"sourcecurrents/internal/session"
 )
@@ -37,7 +41,7 @@ func TestAdoptReplaceConverges(t *testing.T) {
 		t.Fatalf("source append status %d: %s", resp.StatusCode, body)
 	}
 
-	status, err := AdoptReplaceFromURL(reg, "alpha", src.URL+"/v1/alpha/snapshot", dir, cfg, nil)
+	status, err := AdoptReplaceFromURL(reg, "alpha", src.URL+"/v1/alpha/snapshot", dir, cfg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +65,7 @@ func TestAdoptReplaceConverges(t *testing.T) {
 	}
 
 	// Re-streaming the same epoch is "current": nothing to heal.
-	status, err = AdoptReplaceFromURL(reg, "alpha", src.URL+"/v1/alpha/snapshot", dir, cfg, nil)
+	status, err = AdoptReplaceFromURL(reg, "alpha", src.URL+"/v1/alpha/snapshot", dir, cfg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,6 +120,120 @@ func TestAdoptReplaceFlushesAnswerCache(t *testing.T) {
 	}
 	if !bytes.Equal(got, fresh) {
 		t.Fatalf("post-replace answer is stale (cache not flushed):\n%s\n%s", got, fresh)
+	}
+}
+
+// A replace and a concurrent append must serialize: if the append could
+// interleave with the replace's epoch check, it would build a successor on
+// the pre-replace chain and swap it in at the same epoch the replace
+// installs — a same-epoch fork the epoch-comparing repair scan can never
+// detect. The commit hook blocks mid-replace to hold the critical section
+// open while an append hammers the same dataset.
+func TestReplaceSerializesWithAppend(t *testing.T) {
+	src, _ := testServer(t)
+	dir := t.TempDir()
+	reg := NewRegistry()
+	cfg := session.DefaultConfig()
+	if err := AdoptFromURL(reg, "alpha", src.URL+"/v1/alpha/snapshot", dir, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	replica := httptest.NewServer(New(reg, Options{AdoptDir: dir, SessionCfg: cfg}))
+	defer replica.Close()
+
+	// The source advances to epoch 1 — the lag a failed fan-out leaves.
+	if resp, body := post(t, src.URL+"/v1/alpha/append", appendOneClaim); resp.StatusCode != http.StatusOK {
+		t.Fatalf("source append status %d: %s", resp.StatusCode, body)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	repDone := make(chan error, 1)
+	go func() {
+		status, err := AdoptReplaceFromURL(reg, "alpha", src.URL+"/v1/alpha/snapshot", dir, cfg, nil, func() {
+			close(entered)
+			<-release
+		})
+		if err == nil && status != "replaced" {
+			err = fmt.Errorf("replace status = %q, want \"replaced\"", status)
+		}
+		repDone <- err
+	}()
+	<-entered
+
+	appDone := make(chan uint64, 1)
+	go func() {
+		resp, body := post(t, replica.URL+"/v1/alpha/append",
+			`{"claims":[{"source":"s_other","entity":"o00001","attribute":"v","value":"yyy"}]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("replica append status %d: %s", resp.StatusCode, body)
+			appDone <- 0
+			return
+		}
+		var ar AppendResponse
+		if err := json.Unmarshal(body, &ar); err != nil {
+			t.Error(err)
+			appDone <- 0
+			return
+		}
+		appDone <- ar.Epoch
+	}()
+
+	select {
+	case e := <-appDone:
+		t.Fatalf("append completed (epoch %d) while the replace held the critical section", e)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-repDone; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-appDone:
+		if e != 2 {
+			t.Fatalf("append epoch = %d, want 2 (built on the replaced epoch-1 chain)", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("append never completed after the replace released")
+	}
+	if e, _ := reg.EpochIfKnown("alpha"); e != 2 {
+		t.Fatalf("final epoch = %d, want 2", e)
+	}
+}
+
+// A replace whose snapshot is not ahead of the live epoch refuses without
+// touching the serving directory: the epoch CAS must run before the disk
+// rename, or a stale stream would clobber <dir>/<name>.snap under a newer
+// live world and an eviction reload would silently regress the epoch.
+func TestReplaceStaleLeavesDiskAlone(t *testing.T) {
+	src, _ := testServer(t)
+	dir := t.TempDir()
+	reg := NewRegistry()
+	cfg := session.DefaultConfig()
+	if err := AdoptFromURL(reg, "alpha", src.URL+"/v1/alpha/snapshot", dir, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "alpha.snap")
+	before, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, err := AdoptReplaceFromURL(reg, "alpha", src.URL+"/v1/alpha/snapshot", dir, cfg, nil, func() {
+		t.Error("commit hook ran for a stale replace")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "current" {
+		t.Fatalf("stale replace status = %q, want \"current\"", status)
+	}
+	after, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("stale replace rewrote the snapshot on disk")
 	}
 }
 

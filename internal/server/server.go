@@ -706,7 +706,14 @@ func (s *Server) handleAdopt(r *http.Request, name string) response {
 	var status string
 	var err error
 	if replace {
-		status, err = AdoptReplaceFromURL(s.reg, name, from, s.opt.AdoptDir, s.opt.SessionCfg, nil)
+		// The flush runs inside Replace's critical section, before the new
+		// chain becomes visible: no request routed after the swap can hit a
+		// cache entry keyed to the replaced chain's epochs.
+		status, err = AdoptReplaceFromURL(s.reg, name, from, s.opt.AdoptDir, s.opt.SessionCfg, nil, func() {
+			if n := s.cache.flushPrefix(name + "\x00"); n > 0 {
+				s.opt.Logf("replace %s: flushed %d cached answers from the replaced chain", name, n)
+			}
+		})
 	} else {
 		status = "adopted"
 		err = AdoptFromURL(s.reg, name, from, s.opt.AdoptDir, s.opt.SessionCfg, nil)
@@ -718,11 +725,6 @@ func (s *Server) handleAdopt(r *http.Request, name string) response {
 		return jsonResponse(http.StatusBadGateway, ErrorResponse{Error: err.Error()})
 	case err != nil:
 		return errResponse(err)
-	}
-	if status == "replaced" {
-		if n := s.cache.flushPrefix(name + "\x00"); n > 0 {
-			s.opt.Logf("replace %s: flushed %d cached answers from the replaced chain", name, n)
-		}
 	}
 	s.opt.Logf("adopt %q from %s: %s", name, from, status)
 	return jsonResponse(http.StatusOK, AdoptResponse{Dataset: name, Status: status})
